@@ -1,0 +1,71 @@
+"""Ablation: indirection depth of the sparse all-to-all (Section VI-A).
+
+"The large startup term alpha*p can be reduced at the cost of more and more
+indirect data delivery. ... For larger p, the grid approach can easily be
+generalized to dimensions 2 < d <= log(p).  For d = log(p), we basically get
+the hypercube all-to-all algorithm."
+
+This bench sweeps the delivery scheme (direct, d=2, d=3, hypercube) for a
+latency-bound workload (one tiny message per PE pair) across machine sizes
+and reports the simulated cost, asserting the paper's trade-off: indirection
+wins at scale, and the optimal depth grows only once p is large enough that
+``alpha * d * p^(1/d)`` keeps falling faster than the d-fold volume grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import (
+    Comm,
+    Machine,
+    alltoallv_direct,
+    alltoallv_grid,
+    alltoallv_hypercube,
+    alltoallv_multilevel,
+)
+
+from _common import report
+
+SCHEMES = [
+    ("direct", lambda c, b, n: alltoallv_direct(c, b, n)),
+    ("grid d=2", lambda c, b, n: alltoallv_grid(c, b, n)),
+    ("grid d=3", lambda c, b, n: alltoallv_multilevel(c, b, n, d=3)),
+    ("hypercube", lambda c, b, n: alltoallv_hypercube(c, b, n)),
+]
+SIZES = (16, 64, 256, 1024)
+
+
+def _one(p: int, fn) -> float:
+    bufs = [np.zeros((p, 1), dtype=np.int64) for _ in range(p)]
+    cnts = [np.ones(p, dtype=np.int64) for _ in range(p)]
+    machine = Machine(p)
+    fn(Comm(machine), bufs, cnts)
+    return machine.elapsed()
+
+
+def _sweep():
+    rows = []
+    for p in SIZES:
+        rows.append((p, [(name, _one(p, fn)) for name, fn in SCHEMES]))
+    return rows
+
+
+def test_ablation_alltoall_dimension(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    header = f"{'p':>6s}" + "".join(f"{name:>12s}" for name, _ in SCHEMES)
+    lines = ["Sparse all-to-all, one 8-byte message per PE pair, "
+             "time [sim s]", header]
+    for p, entries in rows:
+        lines.append(f"{p:6d}" + "".join(f"{t:12.2e}" for _, t in entries))
+    report("ablation_alltoall_dimension", "\n".join(lines))
+
+    by = {p: dict(entries) for p, entries in rows}
+    top = SIZES[-1]
+    # Indirection wins at scale.
+    assert by[top]["grid d=2"] < by[top]["direct"]
+    assert by[top]["grid d=3"] < by[top]["direct"]
+    # The direct scheme's disadvantage grows with p.
+    ratio_small = by[SIZES[0]]["direct"] / by[SIZES[0]]["grid d=2"]
+    ratio_big = by[top]["direct"] / by[top]["grid d=2"]
+    assert ratio_big > ratio_small

@@ -1,0 +1,57 @@
+"""Ablation: the base-case switching threshold (Section VI-C).
+
+The paper switches to the replicated-vertex base case at
+``max(2 * #processes, 35 000)`` vertices.  This bench sweeps the threshold
+from "almost never switch" to "switch immediately" on a GNM instance and
+reports the total simulated time, asserting the end points of the trade-off:
+switching *immediately* wastes a vector allreduce over the entire vertex set
+(the base case is only communication-efficient once the vertex set is
+small), so it must be slower than the best moderate threshold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_algorithm
+from repro.core import BoruvkaConfig
+
+from _common import (
+    MAX_CORES,
+    PER_CORE_EDGES,
+    PER_CORE_VERTICES,
+    cached_graph,
+    report,
+)
+
+CORES = min(MAX_CORES, 64)
+THRESHOLDS = (8, 64, 512, 4096, 10 ** 9)
+
+
+def _sweep():
+    g = cached_graph("family", family="GNM",
+                     n=PER_CORE_VERTICES * CORES,
+                     m=PER_CORE_EDGES * CORES, seed=9)
+    rows = []
+    for threshold in THRESHOLDS:
+        cfg = BoruvkaConfig(base_case_min=threshold, base_case_factor=0)
+        r = run_algorithm(g, "boruvka", CORES, config=cfg, seed=9)
+        rows.append((threshold, r.elapsed, r.total_weight))
+    return rows
+
+
+def test_ablation_base_case_threshold(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Base-case threshold sweep on GNM, {CORES} cores, time [sim s]",
+             f"{'threshold':>10s} {'time':>12s}"]
+    for threshold, t, _ in rows:
+        label = "immediate" if threshold >= 10 ** 9 else str(threshold)
+        lines.append(f"{label:>10s} {t:12.6f}")
+    report("ablation_base_case_threshold", "\n".join(lines))
+
+    # All thresholds compute the same forest.
+    weights = {w for _, _, w in rows}
+    assert len(weights) == 1
+    times = {th: t for th, t, _ in rows}
+    best_moderate = min(t for th, t, _ in rows if th < 10 ** 9)
+    assert times[10 ** 9] > best_moderate, (
+        "switching to the replicated base case immediately should lose"
+    )

@@ -1,0 +1,61 @@
+"""Ablation: the sorting dispatch rule of Section VI-C.
+
+"Regarding distributed sorting we use distributed hypercube quicksort [9] if
+the average number of elements to sort per PE is below 512.  For larger
+inputs we use our own implementation of distributed two-level sample sort."
+
+This bench sorts edge-shaped rows with both algorithms across per-PE input
+sizes and reports the simulated times, asserting that each algorithm wins on
+its side of the dispatch threshold (the crossover motivating the rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import Comm, Machine
+from repro.sorting import HYPERCUBE_THRESHOLD, is_globally_sorted, sort_rows
+
+from _common import MAX_CORES, report
+
+P = min(MAX_CORES, 32)
+SIZES = (16, 64, 256, 1024, 4096, 16384)
+
+
+def _one(per_pe: int, method: str, seed: int = 0) -> float:
+    machine = Machine(P, seed=seed)
+    rng = np.random.default_rng(seed)
+    parts = [rng.integers(0, 1 << 20, (per_pe, 4)) for _ in range(P)]
+    out = sort_rows(Comm(machine), parts, n_key_cols=3, method=method,
+                    rebalance=False)
+    assert is_globally_sorted(out, 3)
+    return machine.elapsed()
+
+
+def _sweep():
+    rows = []
+    for per_pe in SIZES:
+        rows.append((per_pe, _one(per_pe, "hypercube"),
+                     _one(per_pe, "samplesort")))
+    return rows
+
+
+def test_ablation_sort_dispatch(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Distributed sorting on {P} PEs, 4-column rows, time [sim s]",
+             f"{'rows/PE':>8s} {'hypercube':>12s} {'samplesort':>12s} "
+             f"{'winner':>10s}"]
+    for per_pe, th, ts in rows:
+        lines.append(f"{per_pe:8d} {th:12.6f} {ts:12.6f} "
+                     f"{'hypercube' if th < ts else 'samplesort':>10s}")
+    lines.append(f"\ndispatch threshold (Section VI-C): "
+                 f"{HYPERCUBE_THRESHOLD} elements/PE")
+    report("ablation_sort_dispatch", "\n".join(lines))
+
+    by = {r[0]: r[1:] for r in rows}
+    # Hypercube wins clearly below the threshold ...
+    th, ts = by[SIZES[0]]
+    assert th < ts, "hypercube should win on tiny inputs"
+    # ... and sample sort wins clearly above it.
+    th, ts = by[SIZES[-1]]
+    assert ts < th, "sample sort should win on large inputs"

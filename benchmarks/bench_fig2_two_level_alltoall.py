@@ -1,0 +1,67 @@
+"""Fig. 2: effect of the two-level all-to-all on component contraction.
+
+The paper plots the accumulated running time of the component-contraction
+phases (pointer doubling) of Algorithm 1 on Erdős-Renyi graphs with 2^17
+vertices and 2^21 edges per core: one-level ``MPI_Alltoallv`` grows sharply
+with the core count (``alpha * p`` startup) while the two-level grid variant
+stays nearly flat (``alpha * sqrt(p)``).
+
+This bench runs the same experiment at simulation scale and asserts the
+shape: the two-level variant wins at the top of the sweep and its advantage
+*grows* with p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ExperimentResult, run_algorithm, series_table
+from repro.core import BoruvkaConfig
+
+from _common import (
+    PER_CORE_EDGES,
+    PER_CORE_VERTICES,
+    cached_graph,
+    core_sweep,
+    report,
+)
+
+
+def _sweep():
+    results = []
+    for cores in core_sweep(lo=4):
+        g = cached_graph("family", family="GNM",
+                         n=PER_CORE_VERTICES * cores,
+                         m=PER_CORE_EDGES * cores, seed=2)
+        for method in ("direct", "grid"):
+            cfg = BoruvkaConfig(alltoall=method, base_case_min=64,
+                                local_preprocessing=False)
+            r = run_algorithm(g, "boruvka", cores, config=cfg)
+            r.algorithm = f"alltoall={method}"
+            # Fig. 2's y-axis: accumulated component-contraction time.
+            r.elapsed = r.phase_times.get("contraction", float("nan"))
+            results.append(r)
+    return results
+
+
+def test_fig2_two_level_alltoall(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = series_table(results, value="elapsed")
+    lines = [
+        "Accumulated component-contraction (pointer doubling) time [sim s]",
+        "GNM weak scaling, boruvka without preprocessing", "", table,
+    ]
+
+    by = {(r.cores, r.algorithm): r.elapsed for r in results}
+    cores = sorted({r.cores for r in results})
+    top = cores[-1]
+    ratio_top = by[(top, "alltoall=direct")] / by[(top, "alltoall=grid")]
+    ratio_lo = by[(cores[0], "alltoall=direct")] / by[(cores[0],
+                                                       "alltoall=grid")]
+    lines += ["", f"direct/grid ratio: {ratio_lo:.2f} at p={cores[0]} -> "
+              f"{ratio_top:.2f} at p={top}"]
+    report("fig2_two_level_alltoall", "\n".join(lines))
+
+    # Shape claims: grid wins at scale and the gap widens with p.
+    assert ratio_top > 1.5, "two-level all-to-all should win at scale"
+    assert ratio_top > ratio_lo, "the two-level advantage should grow with p"

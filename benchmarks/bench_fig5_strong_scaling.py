@@ -1,0 +1,110 @@
+"""Fig. 5: strong scaling on the real-world instances (Table I stand-ins).
+
+The paper scales the six fixed real-world graphs from 2^8 to 2^14 cores:
+our algorithms "exhibit good scalability and are 4 to 40 times faster than
+our competitors, which also scale worse for all graphs but US-road.  For
+US-road ... we achieve our best running time for 8192 cores" (i.e. the
+smallest instance stops scaling before the top of the sweep).  "For the
+social instances, our filtering approach tends to be faster than our
+non-filter algorithm.  For all other graphs, our non-filter approach
+performs better."
+
+Shape claims asserted:
+
+* our algorithms get faster from the bottom to the best point of the sweep
+  on every instance (strong scaling works);
+* competitors are beaten at the top common core count;
+* filterBoruvka beats boruvka on at least one social instance at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import plot_results, series_table, speedup_summary, strong_scaling
+
+from _common import (
+    MAX_CORES,
+    cached_graph,
+    competitor_memory_limit,
+    core_sweep,
+    report,
+)
+
+INSTANCES = ("friendster", "twitter", "uk-2007", "it-2004", "wdc-14",
+             "US-road")
+COMPETITOR_CAP = min(MAX_CORES, 32)
+#: Per-core memory for our algorithms: sized so the largest stand-in
+#: (wdc-14) does not fit at the bottom of the sweep -- the scaled analogue
+#: of "except for wdc-14 for which we also need at least 4096 cores".
+OUR_MEMORY_PER_CORE = 3e7
+
+
+def _sweep():
+    results = {}
+    for name in INSTANCES:
+        g = cached_graph("realworld", name=name, seed=5)
+        rows = strong_scaling(g, ["boruvka", "filter-boruvka"],
+                              core_sweep(lo=4), threads=1, seed=5,
+                              memory_limit_per_core=OUR_MEMORY_PER_CORE)
+        rows8 = strong_scaling(g, ["boruvka", "filter-boruvka"],
+                               core_sweep(lo=8), threads=8, seed=5,
+                               memory_limit_per_core=OUR_MEMORY_PER_CORE)
+        for r in rows8:
+            r.algorithm = f"{r.algorithm}-8t"
+        rows += rows8
+        per_core_edges = g.n_directed_edges // (2 * max(COMPETITOR_CAP, 1))
+        rows += strong_scaling(
+            g, ["awerbuch-shiloach", "mnd-mst"],
+            core_sweep(lo=4, hi=COMPETITOR_CAP), threads=1,
+            memory_limit_per_core=competitor_memory_limit(per_core_edges),
+            seed=5,
+        )
+        results[name] = rows
+    return results
+
+
+def test_fig5_strong_scaling(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["Strong scaling on the Table-I stand-ins, time [sim s]"]
+    for name, rows in results.items():
+        lines += ["", f"--- {name} ---", series_table(rows),
+                  speedup_summary(rows), "",
+                  plot_results(rows, value="elapsed")]
+    report("fig5_strong_scaling", "\n".join(lines))
+
+    # wdc-14 does not fit at the bottom of the sweep (paper: ">= 4096
+    # cores" of its 2^14 sweep; here: the smallest configuration).
+    wdc_low = [r for r in results["wdc-14"]
+               if r.algorithm == "boruvka" and r.cores == core_sweep(lo=4)[0]]
+    assert wdc_low and wdc_low[0].status == "oom", "wdc-14 should not fit"
+
+    for name, rows in results.items():
+        ours = [r for r in rows if r.algorithm == "boruvka"
+                and r.status == "ok"]
+        ours.sort(key=lambda r: r.cores)
+        assert len(ours) >= 2, name
+        t_first = ours[0].elapsed
+        t_best = min(r.elapsed for r in ours)
+        assert t_best < t_first, f"{name}: no strong scaling"
+        # Competitors beaten at the top common core count.
+        our_cap = min((r.elapsed for r in rows
+                       if r.cores == COMPETITOR_CAP and r.status == "ok"
+                       and r.algorithm in ("boruvka", "filterBoruvka",
+                                           "filter-boruvka")),
+                      default=np.nan)
+        for comp in ("sparseMatrix", "MND-MST"):
+            cr = [r for r in rows if r.algorithm == comp
+                  and r.cores == COMPETITOR_CAP and r.status == "ok"]
+            if cr and np.isfinite(our_cap):
+                assert cr[0].elapsed > our_cap, (name, comp)
+    # Social instances: filtering pays off at the top of the sweep.
+    social_wins = 0
+    for name in ("friendster", "twitter"):
+        rows = results[name]
+        top = max(r.cores for r in rows if r.status == "ok")
+        t = {r.algorithm: r.elapsed for r in rows if r.cores == top
+             and r.status == "ok"}
+        if t.get("filter-boruvka", np.inf) < t.get("boruvka", np.inf):
+            social_wins += 1
+    assert social_wins >= 1, "filtering should win on a social instance"

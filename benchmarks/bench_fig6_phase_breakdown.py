@@ -1,0 +1,89 @@
+"""Fig. 6: normalised per-phase running-time breakdown.
+
+The paper normalises the per-phase times of boruvka-{1,8} and
+filterBoruvka-{1,8} to [0, 1] by the slowest variant of each
+graph x core-count configuration, for 3D-RGG (prototypical high-locality),
+GNM and RMAT.  Its observations, asserted here:
+
+* 3D-RGG spends "a considerable amount of time" in local preprocessing;
+* for GNM and RMAT preprocessing is negligible (skipped by the 90 %
+  cut-edge rule) and "most of the running time is spent in label exchange
+  and the redistribution of the edges";
+* filtering "significantly reduces" the time in those communication-heavy
+  phases, with the filter step becoming dominant instead;
+* pointer doubling (contraction) "does only contribute a minor factor ...
+  for all graphs" thanks to the two-level all-to-all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import run_algorithm
+from repro.core import BoruvkaConfig, FilterConfig
+from repro.simmpi.timers import PhaseBreakdown, format_table, normalise
+
+from _common import (
+    MAX_CORES,
+    PER_CORE_EDGES,
+    PER_CORE_VERTICES,
+    cached_graph,
+    report,
+)
+
+GRAPHS = ("3D-RGG", "GNM", "RMAT")
+CORES = min(MAX_CORES, 64)
+
+
+def _sweep():
+    out = {}
+    for family in GRAPHS:
+        g = cached_graph("family", family=family,
+                         n=PER_CORE_VERTICES * CORES,
+                         m=PER_CORE_EDGES * CORES, seed=6)
+        breakdowns = []
+        for alg, threads in (("boruvka", 1), ("boruvka", 8),
+                             ("filter-boruvka", 1), ("filter-boruvka", 8)):
+            b = BoruvkaConfig(base_case_min=64)
+            cfg = b if alg == "boruvka" else FilterConfig(boruvka=b)
+            r = run_algorithm(g, alg, max(1, CORES // threads),
+                              threads=threads, config=cfg, seed=6)
+            label = ("boruvka" if alg == "boruvka" else "filterBoruvka")
+            breakdowns.append(
+                PhaseBreakdown(f"{label}-{threads}", dict(r.phase_times)))
+        out[family] = breakdowns
+    return out
+
+
+def test_fig6_phase_breakdown(benchmark):
+    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Phase breakdown at {CORES} cores, normalised to the slowest "
+             f"variant per graph (Fig. 6)"]
+    for family, breakdowns in out.items():
+        lines += ["", f"--- {family} ---",
+                  format_table(normalise(breakdowns))]
+    report("fig6_phase_breakdown", "\n".join(lines))
+
+    def t(bd: PhaseBreakdown, phase: str) -> float:
+        return bd.times.get(phase, 0.0)
+
+    # 3D-RGG: preprocessing is a considerable fraction of boruvka-8's time.
+    rgg = {b.algorithm: b for b in out["3D-RGG"]}
+    b8 = rgg["boruvka-8"]
+    assert t(b8, "local_preprocessing") > 0.10 * b8.total
+
+    for family in ("GNM", "RMAT"):
+        by = {b.algorithm: b for b in out[family]}
+        b1 = by["boruvka-1"]
+        # Preprocessing negligible (skip rule) ...
+        assert t(b1, "local_preprocessing") < 0.05 * b1.total, family
+        # ... most time in label exchange + redistribute ...
+        comm = t(b1, "label_exchange") + t(b1, "redistribute")
+        assert comm > 0.4 * b1.total, (family, comm / b1.total)
+        # ... which filtering reduces in absolute terms.
+        f1 = by["filterBoruvka-1"]
+        comm_f = t(f1, "label_exchange") + t(f1, "redistribute")
+        assert comm_f < comm, family
+        # Pointer doubling stays a minor factor everywhere.
+        for bd in out[family] + out["3D-RGG"]:
+            assert t(bd, "contraction") < 0.35 * bd.total, bd.algorithm

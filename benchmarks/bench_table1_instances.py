@@ -1,0 +1,60 @@
+"""Table I: the real-world instances of the strong-scaling experiments.
+
+The paper lists six graphs between 57 M and 124 B directed edges.  This
+bench generates the scaled-down structural stand-ins (see
+``repro.graphgen.realworld``), prints the Table-I analogue with the paper's
+original statistics next to ours, and asserts the structural contracts each
+stand-in must honour (graph type, m/n ratio class, degree-skew class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphgen import TABLE_I, gen_realworld
+
+from _common import report
+
+
+def _degree_stats(g):
+    deg = np.bincount(g.edges.u, minlength=g.n_vertices)
+    deg = deg[deg > 0]
+    return float(deg.mean()), int(deg.max())
+
+
+def test_table1_instances(benchmark):
+    graphs = benchmark.pedantic(
+        lambda: {name: gen_realworld(name, seed=7) for name in TABLE_I},
+        rounds=1, iterations=1,
+    )
+    lines = [
+        f"{'graph':11s} {'paper n':>9s} {'paper m':>9s} {'type':>6s}  "
+        f"{'ours n':>8s} {'ours m':>9s} {'m/n':>6s} {'maxdeg':>6s} {'scale':>9s}"
+    ]
+    for name, spec in TABLE_I.items():
+        g = graphs[name]
+        mean_deg, max_deg = _degree_stats(g)
+        ours_mn = 2 * g.n_undirected_edges / g.n_vertices
+        lines.append(
+            f"{name:11s} {spec.paper_n:9.2e} {spec.paper_m:9.2e} "
+            f"{spec.graph_type:>6s}  {g.n_vertices:8d} "
+            f"{g.n_undirected_edges:9d} {ours_mn:6.1f} {max_deg:6d} "
+            f"{g.params['scale_factor']:9.0f}"
+        )
+    report("table1_instances", "\n".join(lines))
+
+    # Shape contracts.
+    road = graphs["US-road"]
+    social = graphs["twitter"]
+    web = graphs["uk-2007"]
+    mn = lambda g: 2 * g.n_undirected_edges / g.n_vertices
+    # Road: near-planar sparse graph; social/web: dense.
+    assert mn(road) < 5.0 < mn(social) and mn(web) > 5.0
+    # Social graphs have heavy degree skew; road graphs none.
+    _, road_max = _degree_stats(road)
+    _, social_max = _degree_stats(social)
+    assert road_max <= 8
+    assert social_max > 50 * mn(social) / 2
+    # Every stand-in records its scale factor.
+    for g in graphs.values():
+        assert g.params["scale_factor"] > 100

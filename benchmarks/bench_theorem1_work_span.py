@@ -1,0 +1,75 @@
+"""Theorem 1: Filter-Borůvka work and base-case-call bounds.
+
+Theorem 1 proves that (sequential) Filter-Borůvka with random edge weights
+has expected running time ``O(m + n log n log(m/n))`` and that the expected
+number of base-case Borůvka calls is ``O(log(m/n))``.  This bench measures
+both quantities over an m/n sweep with the instrumented sequential
+implementation and asserts:
+
+* base-case calls grow at most logarithmically with m/n (bounded by
+  ``a + b * log2(m/n)`` for small constants);
+* the per-edge work (edges touched across all recursion levels, the measure
+  behind the O(m) term) stays bounded by a constant as m/n grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dgraph.edges import Edges
+from repro.seq import FilterStats, filter_boruvka_msf, verify_msf
+
+from _common import report
+
+N = 512
+RATIOS = (4, 8, 16, 32, 64)
+
+
+def _instance(n: int, m: int, seed: int) -> Edges:
+    rng = np.random.default_rng(seed)
+    # connected base path + random extra edges, random weights
+    path_u = np.arange(n - 1)
+    path_v = path_u + 1
+    extra = m - (n - 1)
+    eu = rng.integers(0, n, extra)
+    ev = rng.integers(0, n, extra)
+    keep = eu != ev
+    u = np.concatenate([path_u, eu[keep]])
+    v = np.concatenate([path_v, ev[keep]])
+    w = rng.integers(1, 1 << 20, len(u))  # near-distinct random weights
+    return Edges(u, v, w)
+
+
+def _sweep():
+    rows = []
+    for ratio in RATIOS:
+        calls, work = [], []
+        for seed in range(3):
+            e = _instance(N, N * ratio, seed)
+            stats = FilterStats()
+            msf = filter_boruvka_msf(e, N, base_case_size=2 * N,
+                                     stats=stats)
+            verify_msf(msf, e, N, check_edges=False)
+            calls.append(stats.base_case_calls)
+            work.append(stats.edges_touched / len(e))
+        rows.append((ratio, float(np.mean(calls)), float(np.mean(work))))
+    return rows
+
+
+def test_theorem1_work_and_span(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Sequential Filter-Borůvka instrumentation, n={N}",
+             f"{'m/n':>5s} {'base-case calls':>16s} {'edges touched / m':>18s}"]
+    for ratio, calls, work in rows:
+        lines.append(f"{ratio:5d} {calls:16.1f} {work:18.2f}")
+    report("theorem1_work_span", "\n".join(lines))
+
+    for ratio, calls, work in rows:
+        # O(log(m/n)) base-case calls (generous constants).
+        assert calls <= 3 + 3 * np.log2(ratio), (ratio, calls)
+        # O(m) total work: each edge is touched O(1) times in expectation.
+        assert work <= 6.0, (ratio, work)
+    # The call count must not grow linearly: doubling m/n from the first to
+    # the last ratio must grow calls by far less than the ratio growth.
+    first, last = rows[0], rows[-1]
+    assert last[1] / max(first[1], 1) < (last[0] / first[0]) / 2

@@ -1,0 +1,6 @@
+"""Make the shared bench helpers importable when pytest runs benchmarks/."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

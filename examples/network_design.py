@@ -1,0 +1,55 @@
+"""Network topology design via MST (paper application [5]).
+
+Topology-control in wireless/backbone networks keeps the minimum-cost edge
+set that preserves connectivity -- the MST.  This example models an
+internet-like topology (random hyperbolic graph: power-law degrees, small
+diameter) with link costs, computes the minimum-cost backbone with both of
+the paper's algorithms and reports the cost saving over the full mesh, plus
+a mini strong-scaling comparison between the two algorithms.
+
+Run:  python examples/network_design.py
+"""
+
+from repro import Machine, minimum_spanning_forest
+from repro.graphgen import gen_rhg
+from repro.seq import is_spanning_forest
+
+
+def main() -> None:
+    # An AS-like network: 4 000 routers, power-law degree distribution.
+    graph = gen_rhg(4_000, avg_degree=14, gamma=3.0, seed=11)
+    full_cost = graph.edges.total_weight() // 2
+    print(f"network: {graph.n_vertices} routers, "
+          f"{graph.n_undirected_edges} candidate links, "
+          f"full-mesh cost {full_cost}")
+
+    results = {}
+    for algorithm in ("boruvka", "filter-boruvka"):
+        times = {}
+        for procs in (4, 16, 64):
+            machine = Machine(n_procs=procs)
+            res = minimum_spanning_forest(graph.distribute(machine),
+                                          algorithm=algorithm)
+            times[procs] = res.elapsed
+            results[algorithm] = res
+        scaling = " ".join(f"p={p}:{t * 1e3:.2f}ms"
+                           for p, t in times.items())
+        print(f"{algorithm:15s} backbone cost {results[algorithm].total_weight}"
+              f"  ({scaling})")
+
+    res = results["boruvka"]
+    backbone = res.msf_edges()
+    saving = 1 - res.total_weight / full_cost
+    print(f"backbone keeps {len(backbone)} links "
+          f"({len(backbone) / graph.n_undirected_edges:.1%} of candidates), "
+          f"cost saving {saving:.1%}")
+
+    # The backbone must still connect everything the full network connects.
+    assert is_spanning_forest(backbone, graph.edges, graph.n_vertices)
+    assert results["boruvka"].total_weight == \
+        results["filter-boruvka"].total_weight
+    print("connectivity preserved: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: compute a minimum spanning forest on a simulated cluster.
+
+Builds a small random geometric graph, partitions it over 8 simulated PEs,
+runs the paper's two algorithms (distributed Borůvka and Filter-Borůvka) and
+checks both against sequential Kruskal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, minimum_spanning_forest
+from repro.graphgen import gen_rgg2d
+from repro.seq import kruskal_msf
+
+
+def main() -> None:
+    # 1. Generate an instance: 2 000 points in the unit square, connected
+    #    below the distance threshold that yields ~10 neighbours each.
+    graph = gen_rgg2d(2_000, avg_degree=10, seed=42)
+    print(f"instance: {graph.name} with n={graph.n_vertices} vertices, "
+          f"m={graph.n_undirected_edges} edges")
+
+    # 2. A simulated distributed machine: 8 MPI processes x 4 threads.
+    machine = Machine(n_procs=8, threads=4)
+
+    # 3. Run the paper's algorithms.
+    for algorithm in ("boruvka", "filter-boruvka"):
+        machine_run = Machine(n_procs=8, threads=4)
+        result = minimum_spanning_forest(
+            graph.distribute(machine_run), algorithm=algorithm)
+        print(f"\n{algorithm}:")
+        print(f"  MSF weight          : {result.total_weight}")
+        print(f"  MSF edges           : {len(result.msf_edges())}")
+        print(f"  simulated time      : {result.elapsed * 1e3:.3f} ms "
+              f"on {machine_run.cores} cores")
+        print(f"  Borůvka rounds      : {result.rounds}")
+        top = sorted(result.phase_times.items(), key=lambda kv: -kv[1])[:3]
+        print("  top phases          : "
+              + ", ".join(f"{k}={v * 1e3:.3f} ms" for k, v in top))
+
+        # 4. Verify against sequential Kruskal.
+        reference = kruskal_msf(graph.edges, graph.n_vertices)
+        assert result.total_weight == reference.total_weight()
+        print("  verified against Kruskal: OK")
+
+
+if __name__ == "__main__":
+    main()

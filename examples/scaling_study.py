@@ -1,0 +1,36 @@
+"""Mini weak-scaling study: a self-contained Fig. 3 in miniature.
+
+Sweeps core counts on two contrasting graph families (high-locality 2D-RGG
+vs no-locality GNM), runs the paper's algorithms and both competitors, and
+prints the throughput tables plus the speedup summary -- the same harness
+the full benchmarks in benchmarks/ use.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import series_table, speedup_summary, weak_scaling
+from repro.graphgen import gen_family
+
+
+def main() -> None:
+    per_core_vertices, per_core_edges = 128, 1024
+    cores = [4, 16, 64]
+
+    for family in ("2D-RGG", "GNM"):
+        def make(n, m, seed, family=family):
+            return gen_family(family, n, m, seed=seed)
+
+        results = weak_scaling(
+            make,
+            ["boruvka", "filter-boruvka", "awerbuch-shiloach", "mnd-mst"],
+            cores, per_core_vertices, per_core_edges, seed=1,
+        )
+        print(f"\n=== {family}: weak scaling, {per_core_vertices} vertices /"
+              f" {per_core_edges} edges per core ===")
+        print("throughput [edges / simulated second]:")
+        print(series_table(results, value="throughput"))
+        print(speedup_summary(results))
+
+
+if __name__ == "__main__":
+    main()

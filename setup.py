@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package, so
+PEP 517/660 editable installs cannot build an editable wheel.  This shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.  All
+package metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

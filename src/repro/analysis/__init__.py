@@ -1,0 +1,28 @@
+"""Experiment harness: sweeps, result records, table/CSV formatting."""
+
+from .runner import (
+    ExperimentResult,
+    default_configs,
+    env_max_cores,
+    env_scale,
+    run_algorithm,
+    strong_scaling,
+    weak_scaling,
+)
+from .plots import ascii_plot, plot_results
+from .tables import csv_lines, series_table, speedup_summary
+
+__all__ = [
+    "ExperimentResult",
+    "default_configs",
+    "env_max_cores",
+    "env_scale",
+    "run_algorithm",
+    "strong_scaling",
+    "weak_scaling",
+    "ascii_plot",
+    "plot_results",
+    "csv_lines",
+    "series_table",
+    "speedup_summary",
+]

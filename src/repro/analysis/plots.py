@@ -1,0 +1,107 @@
+"""ASCII charts for benchmark reports.
+
+The paper presents its evaluation as log-log line plots (throughput or time
+vs core count).  The benches run headless, so this module renders the same
+series as text: one fixed-height canvas, one glyph per algorithm, log-scaled
+axes -- enough to *see* crossovers and divergence in
+``benchmarks/results/*.txt`` without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], lo: float, hi: float,
+                   cells: int) -> List[int]:
+    out = []
+    if hi <= lo:
+        return [0 for _ in values]
+    for v in values:
+        frac = (math.log10(v) - math.log10(lo)) / (
+            math.log10(hi) - math.log10(lo))
+        out.append(int(round(frac * (cells - 1))))
+    return out
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "cores",
+    y_label: str = "value",
+) -> str:
+    """Render (x, y) series as a log-log ASCII scatter/line chart.
+
+    ``series`` maps a name to its (x, y) points; non-finite y values are
+    skipped (e.g. OOM'd configurations).  Returns a multi-line string with a
+    legend.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts
+              if np.isfinite(y) and y > 0 and x > 0]
+    if not points:
+        return "(no finite data to plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    canvas = [[" "] * width for _ in range(height)]
+
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        pts = [(x, y) for x, y in pts if np.isfinite(y) and y > 0]
+        if not pts:
+            continue
+        cols = _log_positions([p[0] for p in pts], x_lo, x_hi, width)
+        rows = _log_positions([p[1] for p in pts], y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            rr = height - 1 - r
+            cell = canvas[rr][c]
+            canvas[rr][c] = glyph if cell == " " else "*"
+
+    lines = []
+    for r, row in enumerate(canvas):
+        label = ""
+        if r == 0:
+            label = _fmt(y_hi)
+        elif r == height - 1:
+            label = _fmt(y_lo)
+        lines.append(f"{label:>9s} |" + "".join(row))
+    lines.append(" " * 9 + " +" + "-" * width)
+    lines.append(f"{'':9s}  {_fmt(x_lo)}{' ' * (width - 16)}{_fmt(x_hi):>8s}"
+                 f"  ({x_label}, log-log, y={y_label})")
+    lines.append(" " * 11 + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    if v >= 1e4 or v < 1e-2:
+        return f"{v:.1e}"
+    if v == int(v):
+        return str(int(v))
+    return f"{v:.2f}"
+
+
+def plot_results(results, value: str = "throughput",
+                 width: int = 64, height: int = 16) -> str:
+    """ASCII chart of :class:`~repro.analysis.runner.ExperimentResult` rows.
+
+    Series = algorithms, x = cores, y = the requested attribute.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for r in results:
+        y = getattr(r, value)
+        series.setdefault(r.algorithm, []).append((float(r.cores),
+                                                   float(y)))
+    for pts in series.values():
+        pts.sort()
+    return ascii_plot(series, width=width, height=height,
+                      y_label=value)

@@ -1,0 +1,110 @@
+"""Result formatting: the ASCII tables and CSV series the benches print.
+
+The paper presents results as throughput/time-vs-cores plots; without a
+display the benches print the same series as aligned text tables (one row
+per core count, one column per algorithm variant) plus machine-readable CSV
+lines prefixed with ``#csv`` for downstream plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .runner import ExperimentResult
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value is None or not np.isfinite(value):
+        return "--"
+    if value >= 1e5 or (0 < abs(value) < 1e-3):
+        return f"{value:.2e}"
+    return f"{value:.{digits}f}"
+
+
+def series_table(
+    results: Sequence[ExperimentResult],
+    value: str = "elapsed",
+    row_key: Callable[[ExperimentResult], object] = lambda r: r.cores,
+    col_key: Callable[[ExperimentResult], str] = lambda r: r.algorithm,
+    row_label: str = "cores",
+) -> str:
+    """Pivot results into an aligned text table (rows x algorithm columns).
+
+    ``value`` is an :class:`ExperimentResult` attribute/property name.
+    Crashed configurations render as ``oom``.
+    """
+    rows = sorted({row_key(r) for r in results}, key=lambda x: (str(type(x)), x))
+    cols = list(dict.fromkeys(col_key(r) for r in results))
+    cells: Dict[tuple, str] = {}
+    for r in results:
+        key = (row_key(r), col_key(r))
+        if r.status == "oom":
+            cells[key] = "oom"
+        elif r.status != "ok":
+            cells[key] = r.status
+        else:
+            cells[key] = _fmt(getattr(r, value))
+    header = [row_label] + cols
+    body = [[str(rk)] + [cells.get((rk, c), "--") for c in cols]
+            for rk in rows]
+    all_rows = [header] + body
+    widths = [max(len(row[c]) for row in all_rows)
+              for c in range(len(header))]
+    lines = []
+    for idx, row in enumerate(all_rows):
+        lines.append("  ".join(cell.rjust(widths[c])
+                               for c, cell in enumerate(row)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def csv_lines(results: Sequence[ExperimentResult],
+              extra_fields: Sequence[str] = ()) -> List[str]:
+    """Machine-readable result rows (prefixed ``#csv`` by the benches)."""
+    fields = ["instance", "algorithm", "cores", "n_procs", "threads",
+              "n_vertices", "m_directed", "elapsed", "status"]
+    lines = [",".join(fields + list(extra_fields) + ["throughput"])]
+    for r in results:
+        row = [str(getattr(r, f)) for f in fields]
+        row += [str(r.stats.get(f, "")) for f in extra_fields]
+        row.append(str(r.throughput))
+        lines.append(",".join(row))
+    return lines
+
+
+def speedup_summary(results: Sequence[ExperimentResult],
+                    ours_prefixes: Sequence[str] = ("boruvka",
+                                                    "filterBoruvka",
+                                                    "filter-boruvka"),
+                    ) -> str:
+    """Max speedup of our fastest variant over each competitor (Section VII-A).
+
+    Algorithms whose name starts with one of ``ours_prefixes`` (thread
+    suffixes like ``boruvka-8`` included) count as ours.  Variants are
+    compared per (instance, core count) -- thread counts compete, exactly as
+    in the paper's figures.
+    """
+    ours = lambda name: any(name.startswith(p) for p in ours_prefixes)
+    by_config: Dict[tuple, Dict[str, ExperimentResult]] = {}
+    for r in results:
+        by_config.setdefault((r.instance, r.cores), {})[r.algorithm] = r
+    best: Dict[str, float] = {}
+    for cfg, algs in by_config.items():
+        our_times = [a.elapsed for name, a in algs.items()
+                     if ours(name) and a.status == "ok"]
+        if not our_times:
+            continue
+        t_our = min(our_times)
+        for name, a in algs.items():
+            if ours(name) or a.status != "ok" or not np.isfinite(a.elapsed):
+                continue
+            s = a.elapsed / t_our
+            if s > best.get(name, 0.0):
+                best[name] = s
+    if not best:
+        return "no competitor overlap"
+    return "; ".join(f"up to {v:.0f}x faster than {k}"
+                     for k, v in sorted(best.items()))

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``gen``     generate an instance (weak-scaling family or Table-I stand-in)
+            and save it as ``.npz``;
+``mst``     compute an MSF on a simulated machine, printing weight, timings
+            and the phase breakdown;
+``cc``      count connected components;
+``sweep``   run a weak- or strong-scaling sweep and print the series table;
+``info``    show instance statistics of a saved ``.npz`` graph.
+
+Examples
+--------
+::
+
+    python -m repro gen --family GNM -n 4096 -m 16384 -o gnm.npz
+    python -m repro mst gnm.npz --algorithm filter-boruvka --procs 16 --threads 4
+    python -m repro sweep --family 2D-RGG --cores 4,16,64 --algorithms boruvka,mnd-mst
+    python -m repro info gnm.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_gen(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("gen", help="generate a graph instance")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--family", choices=_families(),
+                       help="weak-scaling family (Section VII)")
+    group.add_argument("--instance", choices=_instances(),
+                       help="Table-I real-world stand-in")
+    p.add_argument("-n", type=int, default=1024, help="vertices")
+    p.add_argument("-m", type=int, default=4096,
+                   help="undirected edges (families only)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True, help="output .npz path")
+
+
+def _add_mst(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("mst", help="compute a minimum spanning forest")
+    p.add_argument("graph", help="instance .npz (from `repro gen`)")
+    p.add_argument("--algorithm", default="boruvka",
+                   help="boruvka | filter-boruvka | awerbuch-shiloach | "
+                        "mnd-mst")
+    p.add_argument("--procs", type=int, default=8, help="MPI processes")
+    p.add_argument("--threads", type=int, default=1,
+                   help="OpenMP threads per process")
+    p.add_argument("--alltoall", default="auto",
+                   choices=["auto", "direct", "grid", "grid3", "hypercube"])
+    p.add_argument("--no-preprocessing", action="store_true")
+    p.add_argument("--verify", action="store_true",
+                   help="check against sequential Kruskal")
+    p.add_argument("--output", help="save the MSF edge list as .npz")
+
+
+def _add_cc(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("cc", help="count connected components")
+    p.add_argument("graph", help="instance .npz")
+    p.add_argument("--procs", type=int, default=8)
+
+
+def _add_sweep(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("sweep", help="run a scaling sweep")
+    p.add_argument("--family", choices=_families(), default="GNM")
+    p.add_argument("--cores", default="4,16,64",
+                   help="comma-separated core counts")
+    p.add_argument("--per-core-vertices", type=int, default=256)
+    p.add_argument("--per-core-edges", type=int, default=1024)
+    p.add_argument("--algorithms",
+                   default="boruvka,filter-boruvka",
+                   help="comma-separated algorithm names")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--strong", action="store_true",
+                   help="strong scaling (fixed size = per-core x max cores)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_info(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("info", help="show instance statistics")
+    p.add_argument("graph", help="instance .npz")
+
+
+def _families():
+    from .graphgen import FAMILIES
+
+    return list(FAMILIES)
+
+
+def _instances():
+    from .graphgen import TABLE_I
+
+    return sorted(TABLE_I)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the subcommand handlers."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="kamsta-py: distributed MST algorithms on a simulated "
+                    "machine (Sanders & Schimek, IPDPS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_gen(sub)
+    _add_mst(sub)
+    _add_cc(sub)
+    _add_sweep(sub)
+    _add_info(sub)
+    args = parser.parse_args(argv)
+    return {
+        "gen": _cmd_gen,
+        "mst": _cmd_mst,
+        "cc": _cmd_cc,
+        "sweep": _cmd_sweep,
+        "info": _cmd_info,
+    }[args.command](args)
+
+
+def _cmd_gen(args) -> int:
+    from .graphgen import gen_family, gen_realworld, save_npz
+
+    if args.family:
+        g = gen_family(args.family, args.n, args.m, seed=args.seed)
+    else:
+        g = gen_realworld(args.instance, n=args.n, seed=args.seed)
+    save_npz(g, args.output)
+    print(f"wrote {args.output}: {g.name} n={g.n_vertices} "
+          f"m={g.n_undirected_edges}")
+    return 0
+
+
+def _cmd_mst(args) -> int:
+    from .core import BoruvkaConfig, FilterConfig, minimum_spanning_forest
+    from .graphgen import load_npz, save_npz
+    from .simmpi import Machine
+
+    g = load_npz(args.graph)
+    machine = Machine(args.procs, threads=args.threads)
+    b = BoruvkaConfig(alltoall=args.alltoall,
+                      local_preprocessing=not args.no_preprocessing)
+    config = (FilterConfig(boruvka=b)
+              if args.algorithm == "filter-boruvka" else b)
+    result = minimum_spanning_forest(g.distribute(machine),
+                                     algorithm=args.algorithm,
+                                     config=config)
+    print(f"instance        : {g.name} (n={g.n_vertices}, "
+          f"m={g.n_undirected_edges})")
+    print(f"machine         : {args.procs} procs x {args.threads} threads "
+          f"= {machine.cores} cores")
+    print(f"algorithm       : {result.algorithm}")
+    print(f"MSF weight      : {result.total_weight}")
+    print(f"MSF edges       : {len(result.msf_edges())}")
+    print(f"simulated time  : {result.elapsed * 1e3:.4f} ms")
+    print(f"throughput      : {g.n_directed_edges / result.elapsed:.3e} "
+          f"edges/s")
+    print("phase breakdown :")
+    for phase, t in sorted(result.phase_times.items(), key=lambda kv: -kv[1]):
+        print(f"  {phase:20s} {t * 1e3:10.4f} ms")
+    if args.verify:
+        from .seq import verify_msf
+
+        verify_msf(result.msf_edges(), g.edges, g.n_vertices,
+                   check_edges=False)
+        print("verification    : OK (matches sequential Kruskal)")
+    if args.output:
+        from .graphgen.base import GeneratedGraph
+
+        out = GeneratedGraph(name=f"{g.name}-msf",
+                             n_vertices=g.n_vertices,
+                             edges=result.msf_edges(),
+                             params={"algorithm": result.algorithm})
+        save_npz(out, args.output)
+        print(f"MSF saved       : {args.output}")
+    return 0
+
+
+def _cmd_cc(args) -> int:
+    from .core import connected_components
+    from .graphgen import load_npz
+    from .simmpi import Machine
+
+    g = load_npz(args.graph)
+    machine = Machine(args.procs)
+    res = connected_components(g.distribute(machine))
+    print(f"{g.name}: {res.n_components} connected components "
+          f"({res.elapsed * 1e3:.4f} simulated ms on {args.procs} PEs)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import series_table, speedup_summary, strong_scaling, weak_scaling
+    from .graphgen import gen_family
+
+    cores = [int(c) for c in args.cores.split(",")]
+    algorithms = args.algorithms.split(",")
+
+    if args.strong:
+        g = gen_family(args.family, args.per_core_vertices * max(cores),
+                       args.per_core_edges * max(cores), seed=args.seed)
+        results = strong_scaling(g, algorithms, cores,
+                                 threads=args.threads, seed=args.seed)
+    else:
+        results = weak_scaling(
+            lambda n, m, seed: gen_family(args.family, n, m, seed=seed),
+            algorithms, cores, args.per_core_vertices, args.per_core_edges,
+            threads=args.threads, seed=args.seed,
+        )
+    mode = "strong" if args.strong else "weak"
+    print(f"{args.family} {mode} scaling "
+          f"({args.per_core_vertices}v/{args.per_core_edges}e per core)")
+    print(series_table(results, value="throughput"))
+    print(speedup_summary(results))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .graphgen import graph_statistics, load_npz
+
+    g = load_npz(args.graph)
+    s = graph_statistics(g)
+    print(f"name        : {g.name}")
+    print(f"vertices    : {s.n_vertices}")
+    print(f"edges       : {s.m_undirected} undirected "
+          f"({g.n_directed_edges} directed)")
+    print(f"avg degree  : {s.avg_degree:.2f}")
+    print(f"max degree  : {s.max_degree}")
+    print(f"degree gini : {s.degree_gini:.3f} (0 = regular, 1 = one hub)")
+    print(f"locality    : {s.locality_fraction:.1%} local edges on "
+          f"{s.locality_parts} PEs")
+    print(f"weights     : [{s.weight_min}, {s.weight_max}]")
+    if g.params:
+        print(f"params      : {g.params}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

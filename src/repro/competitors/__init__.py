@@ -1,0 +1,18 @@
+"""Competitor reimplementations (Section VII): sparseMatrix, MND-MST and the
+shared-memory reference point."""
+
+from .awerbuch_shiloach import awerbuch_shiloach_msf
+from .dist_kruskal import dist_kruskal
+from .dist_prim import dist_prim
+from .mnd_mst import GROUP_SIZE, mnd_mst
+from .shared_memory import SharedMemoryResult, shared_memory_msf
+
+__all__ = [
+    "awerbuch_shiloach_msf",
+    "dist_kruskal",
+    "dist_prim",
+    "GROUP_SIZE",
+    "mnd_mst",
+    "SharedMemoryResult",
+    "shared_memory_msf",
+]

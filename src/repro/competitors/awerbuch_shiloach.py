@@ -1,0 +1,290 @@
+"""Reimplementation of *sparseMatrix* (Baer et al. [36]) -- Awerbuch-Shiloach
+MSF over distributed sparse-matrix structure.
+
+The paper's strongest published competitor adapts the Awerbuch-Shiloach PRAM
+algorithm [1] to distributed memory through generalised sparse tensor
+algebra (Cyclops), with a 2D partitioning of the adjacency matrix.  The
+algorithmically relevant properties, all reproduced here:
+
+* **no locality exploitation**: the edge set is never contracted; every
+  iteration touches the full edge list (candidate minima are recomputed from
+  all edges), which is why the paper beats it by orders of magnitude on
+  high-locality families;
+* **hook-and-shortcut structure**: per iteration, each component root hooks
+  onto the neighbouring component across its minimum incident edge
+  (2-cycles broken toward the smaller label -- exactly AS conditional star
+  hooking), then the parent pointers are shortcut;
+* **2D cost profile**: the matrix-algebra formulation broadcasts/reduces
+  vertex vectors along grid rows and columns each iteration; we charge those
+  collectives explicitly (``O(beta * n / sqrt(p))`` per PE per iteration)
+  on top of the genuinely executed exchanges;
+* **memory behaviour**: per-PE vertex vectors of length ``~n/sqrt(p)``
+  (rather than n/p) are accounted, which is what makes the real code crash
+  on large configurations (Section VII-A); with a machine memory limit this
+  implementation raises :class:`~repro.simmpi.machine.SimulatedOutOfMemory`
+  in the same regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..dgraph.dist_graph import DistGraph
+from ..simmpi.alltoall import route_rows, unsort
+from ..simmpi.collectives import Comm
+from ..utils.partition import owner_of
+from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
+from ..core.config import BoruvkaConfig
+from ..core.state import MSTRun
+from ..seq.boruvka import pseudo_tree_roots
+
+
+#: Per-edge per-iteration cost of the generalised sparse-tensor kernels.
+#: A Cyclops-style implementation executes every semiring step as a general
+#: tensor contraction (materialise, redistribute, contract, rebuild index
+#: structures) over the never-shrinking edge block.  Calibrated against the
+#: throughput Baer et al. report (and Fig. 3 confirms): sparseMatrix
+#: sustains ~2e4 edges/s per core over ~20+ iterations, i.e. roughly 1.5 us
+#: of kernel time per edge per iteration, where a direct implementation
+#: spends a few ns.
+SPARSE_KERNEL_SECONDS_PER_EDGE = 1.5e-6
+
+
+def awerbuch_shiloach_msf(
+    graph: DistGraph,
+    cfg: Optional[BoruvkaConfig] = None,
+) -> MSTResult:
+    """Compute the MSF with the sparseMatrix/Awerbuch-Shiloach approach."""
+    machine = graph.machine
+    p = machine.n_procs
+    cfg = cfg or BoruvkaConfig(alltoall="direct")
+    run = MSTRun(machine, cfg)
+    comm = run.comm
+    snapshot = InputSnapshot.take(graph)
+
+    # Vertex-label space; the parent vector f is block-distributed.
+    max_label = comm.allreduce(
+        [int(part.u.max()) if len(part) else -1 for part in graph.parts],
+        op="max")
+    n = max_label + 1
+    if n == 0:
+        return _empty_result(machine, run, snapshot)
+    f_blocks = _identity_blocks(n, p)
+
+    # 2D-grid model constants for the per-iteration algebra collectives.
+    grid_c = max(1, int(math.isqrt(p)))
+    row_vec_bytes = 8.0 * n / grid_c
+
+    # Edge blocks stay fixed for the whole run (no contraction!).
+    eu = [part.u.copy() for part in graph.parts]
+    ev = [part.v.copy() for part in graph.parts]
+    ew = [part.w.copy() for part in graph.parts]
+    eid = [part.id.copy() for part in graph.parts]
+
+    for iteration in range(cfg.max_rounds):
+        # Resident footprint: the edge block plus the intermediate tensor
+        # buffers of the algebra formulation, plus the per-row/column vertex
+        # vectors of the 2D distribution.
+        machine.check_memory(np.array(
+            [len(eu[i]) * 32.0 * 3 + row_vec_bytes * 4 for i in range(p)]))
+        # ---- Matrix-formulation overhead: row/column vector collectives
+        # and the extra sparse-kernel passes over the full edge block. ----
+        machine.charge(np.full(
+            p, 2 * machine.cost.collective_tree(grid_c, row_vec_bytes)))
+        machine.charge(np.array(
+            [len(eu[i]) * SPARSE_KERNEL_SECONDS_PER_EDGE for i in range(p)],
+            dtype=np.float64) / machine.cost.effective_threads(
+                machine.threads))
+
+        # ---- Resolve current components of all endpoints (full edge set). -
+        with machine.phase("as_resolve"):
+            reps_u = _resolve(comm, f_blocks, n, eu, cfg.alltoall)
+            reps_v = _resolve(comm, f_blocks, n, ev, cfg.alltoall)
+
+        # ---- Per-root candidate minima from every edge block. ----
+        with machine.phase("as_hook"):
+            cand_rows, cand_dests = [], []
+            alive_total = 0
+            for i in range(p):
+                a, b = reps_u[i], reps_v[i]
+                alive = a != b
+                alive_total += int(alive.sum())
+                machine.charge_scan(np.array([len(a)]), ranks=np.array([i]))
+                if not alive.any():
+                    cand_rows.append(np.empty((0, 6), dtype=np.int64))
+                    cand_dests.append(np.empty(0, dtype=np.int64))
+                    continue
+                aa, bb = a[alive], b[alive]
+                w = ew[i][alive]
+                ids = eid[i][alive]
+                grp = np.concatenate([aa, bb])
+                oth = np.concatenate([bb, aa])
+                w2 = np.concatenate([w, w])
+                id2 = np.concatenate([ids, ids])
+                cu = np.minimum(grp, oth)
+                cv = np.maximum(grp, oth)
+                order = np.lexsort((cv, cu, w2, grp))
+                gs = grp[order]
+                first = np.ones(len(gs), dtype=bool)
+                first[1:] = gs[1:] != gs[:-1]
+                pick = order[first]
+                rows = np.stack([gs[first], w2[pick], cu[pick], cv[pick],
+                                 id2[pick]], axis=1)
+                cand_rows.append(np.concatenate(
+                    [rows, oth[pick][:, None]], axis=1))
+                cand_dests.append(owner_of(gs[first], n, p))
+            alive_total = comm.allreduce(
+                [int(x) for x in _per_pe(alive_total, p)])
+            if alive_total == 0:
+                break
+            recv, _, _ = route_rows(comm, cand_rows, cand_dests,
+                                    method=cfg.alltoall)
+
+            # ---- Owners pick the global minimum per root and hook. ----
+            hook_from, hook_to, hook_id, hook_w = [], [], [], []
+            for i in range(p):
+                rows = recv[i]
+                if len(rows) == 0:
+                    continue
+                order = np.lexsort((rows[:, 3], rows[:, 2], rows[:, 1],
+                                    rows[:, 0]))
+                rs = rows[order]
+                first = np.ones(len(rs), dtype=bool)
+                first[1:] = rs[1:, 0] != rs[:-1, 0]
+                best = rs[first]
+                hook_from.append(best[:, 0])
+                hook_to.append(best[:, 5])
+                hook_id.append(best[:, 4])
+                hook_w.append(best[:, 1])
+                machine.charge_scan(np.array([len(rows)]),
+                                    ranks=np.array([i]))
+            comp = np.concatenate(hook_from) if hook_from else \
+                np.empty(0, dtype=np.int64)
+            parent = np.concatenate(hook_to) if hook_to else \
+                np.empty(0, dtype=np.int64)
+            ids_all = np.concatenate(hook_id) if hook_id else \
+                np.empty(0, dtype=np.int64)
+            ws_all = np.concatenate(hook_w) if hook_w else \
+                np.empty(0, dtype=np.int64)
+            # Conditional hooking: identical 2-cycle tie-break as AS stars.
+            order = np.argsort(comp)
+            comp, parent = comp[order], parent[order]
+            ids_all, ws_all = ids_all[order], ws_all[order]
+            roots = pseudo_tree_roots(comp, parent)
+            # Apply hooks at the owners; record the MST edges once (the
+            # hooking owner records).
+            for i in range(p):
+                lo, hi = np.searchsorted(comp, [_lo(n, p, i), _hi(n, p, i)])
+                sel = slice(lo, hi)
+                c = comp[sel]
+                pr = np.where(roots[sel], c, parent[sel])
+                f_blocks[i][c - _lo(n, p, i)] = pr
+                keep = ~roots[sel]
+                run.record_mst(i, ids_all[sel][keep], ws_all[sel][keep])
+
+        # ---- Shortcut: pointer jumping until the forest is a star set. ----
+        with machine.phase("as_shortcut"):
+            _shortcut(comm, f_blocks, n, cfg.alltoall, machine)
+        run.rounds += 1
+    else:
+        raise RuntimeError("Awerbuch-Shiloach failed to converge")
+
+    with machine.phase("mst_output"):
+        msf_parts = redistribute_mst(run, snapshot)
+    weights = [int(part.w.sum()) for part in msf_parts]
+    total = int(comm.allreduce(weights))
+    return MSTResult(
+        msf_parts=msf_parts,
+        total_weight=total,
+        elapsed=machine.elapsed(),
+        phase_times=dict(machine.phase_times),
+        rounds=run.rounds,
+        algorithm="sparseMatrix",
+        stats={"bytes_communicated": machine.bytes_communicated,
+               "n_collectives": machine.n_collectives},
+    )
+
+
+# ----------------------------------------------------------------------
+def _identity_blocks(n: int, p: int) -> List[np.ndarray]:
+    from ..utils.partition import block_bounds
+
+    b = block_bounds(n, p)
+    return [np.arange(b[i], b[i + 1], dtype=np.int64) for i in range(p)]
+
+
+def _lo(n: int, p: int, i: int) -> int:
+    from ..utils.partition import block_bounds
+
+    return int(block_bounds(n, p)[i])
+
+
+def _hi(n: int, p: int, i: int) -> int:
+    from ..utils.partition import block_bounds
+
+    return int(block_bounds(n, p)[i + 1])
+
+
+def _per_pe(total: int, p: int) -> List[int]:
+    out = [0] * p
+    out[0] = total
+    return out
+
+
+def _resolve(comm: Comm, f_blocks: List[np.ndarray], n: int,
+             labels_per_pe: List[np.ndarray], method: str
+             ) -> List[np.ndarray]:
+    """Look up f[x] for arbitrary per-PE label arrays (deduplicated)."""
+    p = comm.size
+    uniqs, invs, dests = [], [], []
+    for i in range(p):
+        uniq, inv = np.unique(np.asarray(labels_per_pe[i], dtype=np.int64),
+                              return_inverse=True)
+        uniqs.append(uniq)
+        invs.append(inv)
+        dests.append(owner_of(uniq, n, p))
+    recv, recv_src, orders = route_rows(comm, uniqs, dests, method=method)
+    replies = []
+    for i in range(p):
+        q = recv[i]
+        replies.append(f_blocks[i][q - _lo(n, p, i)]
+                       if len(q) else np.empty(0, dtype=np.int64))
+        comm.machine.charge_hash(np.array([len(q)]), ranks=np.array([i]))
+    back, _, _ = route_rows(comm, replies, recv_src, method=method)
+    out = []
+    for i in range(p):
+        if len(uniqs[i]) == 0:
+            out.append(np.empty(0, dtype=np.int64))
+            continue
+        out.append(unsort(orders[i], back[i])[invs[i]])
+    return out
+
+
+def _shortcut(comm: Comm, f_blocks: List[np.ndarray], n: int, method: str,
+              machine) -> None:
+    """f <- f[f] until fixpoint (distributed pointer jumping)."""
+    p = comm.size
+    for _ in range(64):
+        targets = [blk.copy() for blk in f_blocks]
+        resolved = _resolve(comm, f_blocks, n, targets, method)
+        changed = 0
+        for i in range(p):
+            delta = resolved[i] != f_blocks[i]
+            changed += int(delta.sum())
+            f_blocks[i][:] = resolved[i]
+            machine.charge_scan(np.array([len(resolved[i])]),
+                                ranks=np.array([i]))
+        if comm.allreduce(_per_pe(changed, p)) == 0:
+            return
+    raise RuntimeError("shortcut failed to converge")
+
+
+def _empty_result(machine, run, snapshot) -> MSTResult:
+    msf_parts = redistribute_mst(run, snapshot)
+    return MSTResult(msf_parts=msf_parts, total_weight=0,
+                     elapsed=machine.elapsed(),
+                     phase_times=dict(machine.phase_times),
+                     rounds=0, algorithm="sparseMatrix")

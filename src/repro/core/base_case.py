@@ -1,0 +1,143 @@
+"""BASECASE: Borůvka with a replicated vertex set (Section IV-D, Adler et al.).
+
+Once the global number of vertices is small enough to store on a single PE,
+the distributed rounds stop paying off.  The remaining vertex labels are
+remapped to a dense range and *replicated*; edges stay distributed
+(unsorted -- no more redistribution).  Each round, every PE computes the
+locally best incident-edge candidate for every dense vertex; one vector
+allreduce of length n' (with a lexicographic row-minimum operator) makes the
+globally lightest edges known everywhere, after which contraction is a
+purely local, replicated computation exactly like sequential Borůvka.
+
+MST edges are recorded once (on PE 0; the information is replicated) and
+flow to their home PEs in REDISTRIBUTEMST like all other MST edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dgraph.dist_graph import DistGraph
+from ..seq.boruvka import pseudo_tree_roots
+from .state import MSTRun
+
+#: Sentinel weight for "no candidate edge".
+INF = np.int64(1) << 62
+
+
+def _row_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise lexicographic minimum of two (n, k) candidate tables.
+
+    Rows compare by columns left to right; used as the allreduce operator
+    (associative and commutative).
+    """
+    take_b = np.zeros(len(a), dtype=bool)
+    tie = np.ones(len(a), dtype=bool)
+    for c in range(a.shape[1]):
+        take_b |= tie & (b[:, c] < a[:, c])
+        tie &= b[:, c] == a[:, c]
+    return np.where(take_b[:, None], b, a)
+
+
+def base_case(graph: DistGraph, run: MSTRun):
+    """Finish the MSF computation with the replicated-vertex algorithm.
+
+    Returns the final (replicated) component map as a pair of arrays
+    ``(labels, representatives)`` over the vertices that were still present,
+    or ``None`` for an empty remainder.
+    """
+    p = graph.machine.n_procs
+    comm = run.comm
+    machine = graph.machine
+
+    # ---- Remap the remaining labels to a dense range (replicated). ----
+    local_vids = [np.unique(part.u) for part in graph.parts]
+    vlabels = np.unique(comm.allgatherv(local_vids))
+    n_dense = len(vlabels)
+    if n_dense == 0:
+        return
+    machine.check_memory(np.full(p, n_dense * 8 * 6, dtype=np.float64))
+
+    # Dense edge endpoints per PE (ids and weights ride along).
+    eu, ev, ew, eid = [], [], [], []
+    for i in range(p):
+        part = graph.parts[i]
+        eu.append(np.searchsorted(vlabels, part.u))
+        ev.append(np.searchsorted(vlabels, part.v))
+        ew.append(part.w.copy())
+        eid.append(part.id.copy())
+        machine.charge_scan(np.array([len(part)]), ranks=np.array([i]))
+
+    cur = np.arange(n_dense, dtype=np.int64)  # replicated component labels
+
+    for _ in range(run.cfg.max_rounds):
+        alive_total = comm.allreduce([len(x) for x in eu])
+        if alive_total == 0:
+            break
+        # ---- Local candidates: per vertex the (w, cu, cv, other, id) min. ----
+        candidates = []
+        for i in range(p):
+            cand = np.full((n_dense, 5), INF, dtype=np.int64)
+            if len(eu[i]):
+                a, b = eu[i], ev[i]
+                grp = np.concatenate([a, b])
+                oth = np.concatenate([b, a])
+                w2 = np.concatenate([ew[i], ew[i]])
+                id2 = np.concatenate([eid[i], eid[i]])
+                cu = np.minimum(grp, oth)
+                cv = np.maximum(grp, oth)
+                order = np.lexsort((cv, cu, w2, grp))
+                g_sorted = grp[order]
+                first = np.ones(len(g_sorted), dtype=bool)
+                first[1:] = g_sorted[1:] != g_sorted[:-1]
+                pick = order[first]
+                rows = g_sorted[first]
+                cand[rows, 0] = w2[pick]
+                cand[rows, 1] = cu[pick]
+                cand[rows, 2] = cv[pick]
+                cand[rows, 3] = oth[pick]
+                cand[rows, 4] = id2[pick]
+            candidates.append(cand)
+            machine.charge_scan(np.array([max(len(eu[i]), 1) + n_dense]),
+                                ranks=np.array([i]))
+        best = comm.allreduce(candidates, op=_row_min)
+
+        # ---- Replicated contraction (identical on every PE). ----
+        present = best[:, 0] != INF
+        comp = np.flatnonzero(present).astype(np.int64)
+        parent_of = best[comp, 3]
+        roots = pseudo_tree_roots(comp, parent_of)
+        # MST edges of all non-root components -- record once.  Ids are
+        # distinct here: two components choosing the same directed edge form
+        # a 2-cycle, whose root does not record.
+        run.record_mst(0, best[comp[~roots], 4], best[comp[~roots], 0])
+        # Pointer doubling on the replicated parent map.
+        parent_map = np.arange(n_dense, dtype=np.int64)
+        parent_map[comp] = parent_of
+        parent_map[comp[roots]] = comp[roots]
+        while True:
+            nxt = parent_map[parent_map]
+            if np.array_equal(nxt, parent_map):
+                break
+            parent_map = nxt
+        # Report the contraction to the label sink in *original* labels.
+        changed = parent_map != np.arange(n_dense)
+        if changed.any():
+            run.record_labels(0, vlabels[np.flatnonzero(changed)],
+                              vlabels[parent_map[changed]])
+        cur = parent_map[cur]
+        machine.charge_scan(np.full(p, n_dense, dtype=np.float64))
+
+        # ---- Relabel local edges, drop self loops. ----
+        for i in range(p):
+            if not len(eu[i]):
+                continue
+            a = parent_map[eu[i]]
+            b = parent_map[ev[i]]
+            keep = a != b
+            eu[i], ev[i] = a[keep], b[keep]
+            ew[i], eid[i] = ew[i][keep], eid[i][keep]
+            machine.charge_scan(np.array([len(a)]), ranks=np.array([i]))
+    else:
+        raise RuntimeError("base case failed to converge")
+    return vlabels, vlabels[cur]

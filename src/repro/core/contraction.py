@@ -1,0 +1,146 @@
+"""CONTRACTCOMPONENTS: pseudo-tree rooting and pointer doubling (Section IV-B).
+
+The minimum incident edges selected by MINEDGES define pseudo trees (trees
+plus one 2-cycle).  They are converted to rooted stars by
+
+* declaring every *shared* vertex a component root (no communication needed:
+  shared-ness is decidable from the replicated graph metadata -- the paper's
+  trick for avoiding contention at high-degree vertices), and
+* breaking each 2-cycle by rooting at the smaller vertex label,
+
+then pointer doubling: each still-pending vertex ``u`` with parent ``v``
+requests ``parent(v)`` from ``v``'s home PE and replaces its parent by the
+answer, halving the tree depth per round.  Requests are deduplicated per
+(home PE, vertex) and delivered with the configured sparse all-to-all --
+running this exchange through the two-level grid scheme is what Fig. 2 is
+about.
+
+Every non-root local vertex's selected edge is an MST edge (min-cut
+property) and is recorded; the final parent array is the per-vertex
+component-root label ``L_local`` consumed by EXCHANGELABELS/RELABEL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..dgraph.dist_graph import DistGraph
+from ..simmpi.alltoall import route_rows, unsort
+from .minedges import ChosenEdges
+from .state import MSTRun
+
+
+def contract_components(
+    graph: DistGraph,
+    chosen: List[ChosenEdges],
+    run: MSTRun,
+) -> List[np.ndarray]:
+    """Contract the components induced by the chosen edges.
+
+    Returns per-PE ``L_local``: the component-root label of every local
+    vertex, aligned with ``chosen[i].vids``.  Records MST edges and reports
+    label maps to the run's label sink.
+    """
+    p = graph.machine.n_procs
+    comm = run.comm
+    shared_set = graph.shared_vertex_set()
+
+    parent: List[np.ndarray] = []
+    is_root: List[np.ndarray] = []
+    pending: List[np.ndarray] = []  # bool masks
+    for i in range(p):
+        ch = chosen[i]
+        par = np.where(ch.shared, ch.vids, ch.to)
+        root = ch.shared.copy()
+        # Paper special case: a parent that is a shared vertex is known to be
+        # a component root -- finalise locally, no request needed.
+        parent_shared = np.isin(par, shared_set)
+        pend = ~ch.shared & ~parent_shared
+        parent.append(par)
+        is_root.append(root)
+        pending.append(pend)
+
+    # ------------------------------------------------------------------
+    # Pointer-doubling rounds.
+    # ------------------------------------------------------------------
+    max_rounds = run.cfg.max_rounds
+    for round_no in range(max_rounds):
+        n_pending = comm.allreduce([int(m.sum()) for m in pending])
+        if n_pending == 0:
+            break
+        # Build deduplicated queries: distinct parent targets per PE.
+        queries, inverse_maps, dests = [], [], []
+        for i in range(p):
+            targets = parent[i][pending[i]]
+            uniq, inv = np.unique(targets, return_inverse=True)
+            queries.append(uniq)
+            inverse_maps.append(inv)
+            dests.append(graph.home_of_vertices(uniq))
+        recv, recv_src, orders = route_rows(
+            comm, queries, dests, method=run.cfg.alltoall
+        )
+        # Answer from the state at round start (BSP semantics).
+        replies = []
+        for i in range(p):
+            q = recv[i]
+            if len(q) == 0:
+                replies.append(np.empty((0, 2), dtype=np.int64))
+                continue
+            idx = np.searchsorted(chosen[i].vids, q)
+            valid = (idx < len(chosen[i].vids))
+            idx = np.minimum(idx, max(len(chosen[i].vids) - 1, 0))
+            found = valid & (chosen[i].vids[idx] == q)
+            if not found.all():
+                raise RuntimeError(
+                    f"PE {i}: pointer-doubling query for non-resident vertex"
+                )
+            pv = parent[i][idx]
+            replies.append(np.stack([q, pv], axis=1))
+            graph.machine.charge_hash(np.array([len(q)]),
+                                      ranks=np.array([i]))
+        back, _, _ = route_rows(comm, replies, recv_src,
+                                method=run.cfg.alltoall)
+        # Apply: each pending u with target v learns pv = parent(v).
+        for i in range(p):
+            if len(queries[i]) == 0:
+                continue
+            ordered = unsort(orders[i], back[i])  # aligned with queries[i]
+            assert np.array_equal(ordered[:, 0], queries[i])
+            pv_per_query = ordered[:, 1]
+            pend_idx = np.flatnonzero(pending[i])
+            u = chosen[i].vids[pend_idx]
+            v = parent[i][pend_idx]
+            pv = pv_per_query[inverse_maps[i]]
+            # 2-cycle: v's parent is u itself; root at the smaller label.
+            cyc = pv == u
+            win = cyc & (u < v)
+            lose = cyc & ~win
+            parent[i][pend_idx[win]] = u[win]
+            is_root[i][pend_idx[win]] = True
+            pending[i][pend_idx[win]] = False
+            parent[i][pend_idx[lose]] = v[lose]
+            pending[i][pend_idx[lose]] = False
+            # Regular doubling: adopt pv; finalise when v was a root or the
+            # new parent is a shared vertex (local check, paper IV-B).
+            reg = ~cyc
+            parent[i][pend_idx[reg]] = pv[reg]
+            v_is_root = pv == v
+            new_shared = np.isin(pv, shared_set)
+            done = reg & (v_is_root | new_shared)
+            pending[i][pend_idx[done]] = False
+            graph.machine.charge_scan(np.array([len(pend_idx)]),
+                                      ranks=np.array([i]))
+    else:
+        raise RuntimeError("pointer doubling failed to converge")
+
+    # ------------------------------------------------------------------
+    # Record MST edges and label maps.
+    # ------------------------------------------------------------------
+    for i in range(p):
+        ch = chosen[i]
+        contributes = ~ch.shared & ~is_root[i]
+        run.record_mst(i, ch.edge_id[contributes], ch.weight[contributes])
+        run.record_labels(i, ch.vids, parent[i])
+    return parent

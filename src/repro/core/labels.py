@@ -1,0 +1,133 @@
+"""EXCHANGELABELS and RELABEL (Sections IV-B / IV-C).
+
+After contraction, each PE knows the new label (component root) of its
+*local* vertices.  Ghost vertices' labels are obtained by pushing: "for each
+cut edge (u, v) the new label of u is sent to the home PE of (v, u)"; the
+home PE of the *reverse directed edge* is located by lexicographic binary
+search on the replicated min-edge array.  Duplicate messages for the same
+(destination PE, vertex) pair are sent only once.
+
+RELABEL then rewrites every edge ``(u, v)`` to ``(u', v')`` and discards
+self loops; parallel-edge elimination happens later in REDISTRIBUTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..dgraph.dist_graph import DistGraph
+from ..dgraph.edges import Edges
+from ..simmpi.alltoall import route_rows
+from .state import MSTRun
+
+
+@dataclass
+class GhostTable:
+    """Sorted ghost-vertex -> new-label mapping for one PE."""
+
+    ghosts: np.ndarray
+    labels: np.ndarray
+
+    def lookup(self, v: np.ndarray) -> np.ndarray:
+        """New labels of the given ghost vertices (all must be present)."""
+        idx = np.searchsorted(self.ghosts, v)
+        valid = idx < len(self.ghosts)
+        idx_c = np.minimum(idx, max(len(self.ghosts) - 1, 0))
+        found = valid & (self.ghosts[idx_c] == v)
+        if not found.all():
+            missing = np.asarray(v)[~found][:5]
+            raise RuntimeError(f"ghost labels missing for vertices {missing}")
+        return self.labels[idx_c]
+
+
+def exchange_labels(
+    graph: DistGraph,
+    vids_per_pe: List[np.ndarray],
+    labels_per_pe: List[np.ndarray],
+    run: MSTRun,
+) -> List[GhostTable]:
+    """Push new local-vertex labels to every PE that has them as ghosts."""
+    p = graph.machine.n_procs
+    payloads, dests = [], []
+    for i in range(p):
+        part = graph.parts[i]
+        vids = vids_per_pe[i]
+        if len(part) == 0:
+            payloads.append(np.empty((0, 2), dtype=np.int64))
+            dests.append(np.empty(0, dtype=np.int64))
+            continue
+        # Home PE of every reverse edge (v, u, w).  The label of u must be
+        # pushed wherever the reverse edge lives on a *different* PE.  This
+        # covers all cut edges (the paper's rule) plus the corner case where
+        # an edge is local here because its destination is a shared vertex,
+        # while the shared vertex's other PE holds the reverse edge as a cut
+        # edge and still needs our source's label.
+        home_all = graph.home_of_edges(part.v, part.u, part.w)
+        cut = home_all != i
+        cu, cw = part.u[cut], part.w[cut]
+        home = home_all[cut]
+        # New label of the edge's source.
+        src_idx = np.searchsorted(vids, cu)
+        lab = labels_per_pe[i][src_idx]
+        # Deduplicate per (destination PE, vertex).
+        key = np.stack([home, cu], axis=1)
+        _, uniq_idx = np.unique(key, axis=0, return_index=True)
+        payloads.append(np.stack([cu[uniq_idx], lab[uniq_idx]], axis=1))
+        dests.append(home[uniq_idx])
+        graph.machine.charge_scan(np.array([len(part)]), ranks=np.array([i]))
+        graph.machine.charge_sort(np.array([max(len(cu), 1)]),
+                                  ranks=np.array([i]))
+    recv, _, _ = route_rows(run.comm, payloads, dests,
+                            method=run.cfg.alltoall)
+    tables: List[GhostTable] = []
+    for i in range(p):
+        rows = recv[i]
+        if len(rows) == 0:
+            z = np.empty(0, dtype=np.int64)
+            tables.append(GhostTable(z, z.copy()))
+            continue
+        order = np.argsort(rows[:, 0], kind="stable")
+        g = rows[order, 0]
+        l = rows[order, 1]
+        first = np.ones(len(g), dtype=bool)
+        first[1:] = g[1:] != g[:-1]
+        tables.append(GhostTable(g[first], l[first]))
+        graph.machine.charge_hash(np.array([len(rows)]), ranks=np.array([i]))
+    return tables
+
+
+def relabel(
+    graph: DistGraph,
+    vids_per_pe: List[np.ndarray],
+    labels_per_pe: List[np.ndarray],
+    ghost_tables: List[GhostTable],
+    run: MSTRun,
+) -> List[Edges]:
+    """RELABEL: rewrite endpoints to component roots, drop self loops."""
+    p = graph.machine.n_procs
+    out: List[Edges] = []
+    for i in range(p):
+        part = graph.parts[i]
+        if len(part) == 0:
+            out.append(Edges.empty())
+            continue
+        vids = vids_per_pe[i]
+        labels = labels_per_pe[i]
+        # Source labels: every source is local by definition.
+        u_new = labels[np.searchsorted(vids, part.u)]
+        # Destination labels: local lookup where possible, ghosts otherwise.
+        idx = np.searchsorted(vids, part.v)
+        idx_c = np.minimum(idx, len(vids) - 1)
+        v_local = (idx < len(vids)) & (vids[idx_c] == part.v)
+        v_new = np.empty_like(part.v)
+        v_new[v_local] = labels[idx_c[v_local]]
+        if (~v_local).any():
+            v_new[~v_local] = ghost_tables[i].lookup(part.v[~v_local])
+        keep = u_new != v_new
+        out.append(Edges(u_new[keep], v_new[keep], part.w[keep],
+                         part.id[keep]))
+        graph.machine.charge_scan(np.array([len(part)]), ranks=np.array([i]))
+    return out

@@ -1,0 +1,71 @@
+"""MINEDGES: lightest incident edge per local vertex (Algorithm 1, step 1).
+
+For every *non-shared* local vertex the lexicographically
+``(w, min(u,v), max(u,v))``-smallest incident edge is selected ("shared
+vertices are only considered in the base case", Section IV).  Because the
+part is sorted by source vertex, the per-vertex groups are contiguous and
+the selection is one vectorised pass (the paper's implementation uses
+parlay's Min-Priority-Write; we charge the equivalent linear scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..dgraph.dist_graph import DistGraph
+
+
+@dataclass
+class ChosenEdges:
+    """Per-PE result of MINEDGES.
+
+    Arrays are aligned with the PE's *local vertex list* ``vids`` (all
+    distinct sources of the part, shared or not).  For shared vertices (mask
+    ``shared``) no edge is chosen and the edge fields are undefined.
+    """
+
+    vids: np.ndarray        # sorted distinct local vertex ids
+    shared: np.ndarray      # bool: vertex is globally shared
+    to: np.ndarray          # chosen edge's other endpoint
+    weight: np.ndarray      # chosen edge's weight
+    edge_id: np.ndarray     # chosen edge's original directed-edge id
+
+    def __len__(self) -> int:
+        return len(self.vids)
+
+
+def min_edges(graph: DistGraph) -> List[ChosenEdges]:
+    """Run MINEDGES on every PE; one linear pass per PE, no communication."""
+    shared_set = graph.shared_vertex_set()
+    out: List[ChosenEdges] = []
+    for i in range(graph.machine.n_procs):
+        part = graph.parts[i]
+        vids, starts = graph.vertex_groups(i)
+        if len(vids) == 0:
+            z = np.empty(0, dtype=np.int64)
+            out.append(ChosenEdges(z, np.zeros(0, dtype=bool),
+                                   z.copy(), z.copy(), z.copy()))
+            continue
+        # Group index of every edge (groups are contiguous by sortedness).
+        group = np.repeat(np.arange(len(vids)), np.diff(starts))
+        cu = np.minimum(part.u, part.v)
+        cv = np.maximum(part.u, part.v)
+        order = np.lexsort((cv, cu, part.w, group))
+        g_sorted = group[order]
+        first = np.ones(len(g_sorted), dtype=bool)
+        first[1:] = g_sorted[1:] != g_sorted[:-1]
+        pick = order[first]  # one edge index per group, in group order
+        shared = np.isin(vids, shared_set, assume_unique=True)
+        out.append(ChosenEdges(
+            vids=vids,
+            shared=shared,
+            to=part.v[pick],
+            weight=part.w[pick],
+            edge_id=part.id[pick],
+        ))
+        graph.machine.charge_scan(np.array([len(part)]),
+                                  ranks=np.array([i]))
+    return out

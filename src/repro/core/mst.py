@@ -1,0 +1,101 @@
+"""Top-level MST entry point.
+
+:func:`minimum_spanning_forest` is the package's public one-call API: give
+it a distributed graph (or a global edge list plus a machine) and an
+algorithm name, get back an :class:`~repro.core.boruvka.MSTResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..dgraph.dist_graph import DistGraph
+from ..dgraph.edges import Edges
+from ..simmpi.machine import Machine
+from .boruvka import MSTResult, distributed_boruvka
+from .config import BoruvkaConfig, FilterConfig
+
+#: Algorithm registry; competitors register themselves on import.
+_ALGORITHMS = {}
+
+
+def register_algorithm(name: str, fn) -> None:
+    """Register an MSF algorithm under a public name."""
+    _ALGORITHMS[name] = fn
+
+
+def available_algorithms() -> list[str]:
+    """Names accepted by :func:`minimum_spanning_forest`."""
+    _ensure_registry()
+    return sorted(_ALGORITHMS)
+
+
+def _ensure_registry() -> None:
+    if _ALGORITHMS:
+        return
+    from .filter_boruvka import distributed_filter_boruvka
+    from ..competitors.awerbuch_shiloach import awerbuch_shiloach_msf
+    from ..competitors.dist_kruskal import dist_kruskal
+    from ..competitors.dist_prim import dist_prim
+    from ..competitors.mnd_mst import mnd_mst
+
+    _ALGORITHMS["boruvka"] = distributed_boruvka
+    _ALGORITHMS["filter-boruvka"] = distributed_filter_boruvka
+    _ALGORITHMS["awerbuch-shiloach"] = awerbuch_shiloach_msf
+    _ALGORITHMS["mnd-mst"] = mnd_mst
+    _ALGORITHMS["dist-kruskal"] = dist_kruskal
+    _ALGORITHMS["dist-prim"] = dist_prim
+
+
+def minimum_spanning_forest(
+    graph: Union[DistGraph, Edges],
+    machine: Optional[Machine] = None,
+    algorithm: str = "boruvka",
+    config: Optional[Union[BoruvkaConfig, FilterConfig]] = None,
+) -> MSTResult:
+    """Compute the minimum spanning forest of a distributed graph.
+
+    Parameters
+    ----------
+    graph:
+        Either a ready :class:`~repro.dgraph.dist_graph.DistGraph`, or a
+        global :class:`~repro.dgraph.edges.Edges` sequence, which is then
+        partitioned over ``machine`` (required in that case).
+    algorithm:
+        One of :func:`available_algorithms` -- the paper's ``"boruvka"`` and
+        ``"filter-boruvka"``, or the competitor reimplementations
+        ``"awerbuch-shiloach"`` (sparseMatrix) and ``"mnd-mst"``.
+    config:
+        Algorithm configuration; defaults per :mod:`repro.core.config`.
+
+    Returns
+    -------
+    MSTResult
+        Per-PE MSF edges with original endpoints, total weight, simulated
+        timings and phase breakdown.
+    """
+    _ensure_registry()
+    if isinstance(graph, Edges):
+        if machine is None:
+            raise ValueError("pass a Machine when giving a global edge list")
+        graph = DistGraph.from_global_edges(machine, graph.with_back_edges()
+                                            if not _is_symmetric(graph)
+                                            else graph,
+                                            avoid_shared=True)
+    try:
+        fn = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: "
+            f"{available_algorithms()}"
+        )
+    if config is None:
+        return fn(graph)
+    return fn(graph, config)
+
+
+def _is_symmetric(edges: Edges) -> bool:
+    """Cheap symmetry test: equal counts of (u<v) and (u>v) edges."""
+    import numpy as np
+
+    return int(np.sum(edges.u < edges.v)) == int(np.sum(edges.u > edges.v))

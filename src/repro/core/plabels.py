@@ -1,0 +1,157 @@
+"""The distributed component-representative array ``P`` (Section V).
+
+Filter-Borůvka maintains "a distributed array P of size n, where PE i holds
+the elements in/p..(i+1)n/p.  After a Borůvka round, each PE stores the
+component root for its local vertices in P.  In the end, the implicitly
+constructed trees in P are contracted using O(log(log n)) pointer doubling
+rounds."
+
+:class:`DistributedLabelArray` implements exactly that: it is plugged into
+:class:`~repro.core.state.MSTRun` as the label sink, buffers each
+contraction's ``vertex -> root`` map, flushes the buffered updates to the
+block owners with one sparse all-to-all, and contracts the resulting pointer
+trees by distributed pointer doubling.  ``request`` then resolves arbitrary
+(historical) vertex labels to their current component representatives -- the
+REQUESTLABELS step of the FILTER routine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..simmpi.alltoall import route_rows, unsort
+from ..simmpi.collectives import Comm
+from ..utils.partition import block_bounds, owner_of
+
+
+class DistributedLabelArray:
+    """Block-distributed ``P[0..n)`` with buffered updates and doubling."""
+
+    def __init__(self, comm: Comm, n: int, alltoall: str = "auto"):
+        self.comm = comm
+        self.n = int(n)
+        self.p = comm.size
+        self.alltoall = alltoall
+        self.bounds = block_bounds(self.n, self.p)
+        #: P blocks, initialised to the identity.
+        self.blocks: List[np.ndarray] = [
+            np.arange(self.bounds[i], self.bounds[i + 1], dtype=np.int64)
+            for i in range(self.p)
+        ]
+        self._pending: List[List[np.ndarray]] = [[] for _ in range(self.p)]
+
+    # ------------------------------------------------------------------
+    def sink(self, pe: int, vertices: np.ndarray, roots: np.ndarray) -> None:
+        """Label-sink entry point (buffered; see :meth:`flush`)."""
+        if len(vertices):
+            self._pending[pe].append(
+                np.stack([np.asarray(vertices, dtype=np.int64),
+                          np.asarray(roots, dtype=np.int64)], axis=1)
+            )
+
+    def flush(self) -> None:
+        """Deliver buffered updates to their block owners (one all-to-all)."""
+        rows, dests = [], []
+        for i in range(self.p):
+            if self._pending[i]:
+                block = np.concatenate(self._pending[i], axis=0)
+            else:
+                block = np.empty((0, 2), dtype=np.int64)
+            rows.append(block)
+            dests.append(owner_of(block[:, 0], self.n, self.p)
+                         if len(block) else np.empty(0, dtype=np.int64))
+            self._pending[i] = []
+        recv, _, _ = route_rows(self.comm, rows, dests, method=self.alltoall)
+        for i in range(self.p):
+            upd = recv[i]
+            if len(upd):
+                self.blocks[i][upd[:, 0] - self.bounds[i]] = upd[:, 1]
+                self.comm.machine.charge_scan(np.array([len(upd)]),
+                                              ranks=np.array([i]))
+
+    # ------------------------------------------------------------------
+    def contract(self, max_rounds: int = 64) -> None:
+        """Pointer-double P to fixpoint: ``P[v] <- P[P[v]]`` until stable."""
+        self.flush()
+        for _ in range(max_rounds):
+            # Query the owner of every (deduplicated) non-trivial target.
+            queries, inverses, dests, positions = [], [], [], []
+            for i in range(self.p):
+                block = self.blocks[i]
+                ids = np.arange(self.bounds[i], self.bounds[i + 1])
+                nontriv = np.flatnonzero(block != ids)
+                targets = block[nontriv]
+                uniq, inv = np.unique(targets, return_inverse=True)
+                queries.append(uniq)
+                inverses.append(inv)
+                positions.append(nontriv)
+                dests.append(owner_of(uniq, self.n, self.p))
+            n_q = self.comm.allreduce([len(q) for q in queries])
+            if n_q == 0:
+                return
+            recv, recv_src, orders = route_rows(
+                self.comm, queries, dests, method=self.alltoall
+            )
+            replies = []
+            for i in range(self.p):
+                q = recv[i]
+                replies.append(self.blocks[i][q - self.bounds[i]]
+                               if len(q) else np.empty(0, dtype=np.int64))
+                self.comm.machine.charge_hash(np.array([len(q)]),
+                                              ranks=np.array([i]))
+            back, _, _ = route_rows(self.comm, replies, recv_src,
+                                    method=self.alltoall)
+            changed_any = []
+            for i in range(self.p):
+                if len(queries[i]) == 0:
+                    changed_any.append(0)
+                    continue
+                resolved = unsort(orders[i], back[i])  # aligned with queries
+                new_vals = resolved[inverses[i]]
+                old = self.blocks[i][positions[i]]
+                self.blocks[i][positions[i]] = new_vals
+                changed_any.append(int((new_vals != old).sum()))
+            if self.comm.allreduce(changed_any) == 0:
+                return
+        raise RuntimeError("P-array pointer doubling failed to converge")
+
+    # ------------------------------------------------------------------
+    def request(self, queries_per_pe: List[np.ndarray]) -> List[np.ndarray]:
+        """REQUESTLABELS: resolve vertex labels to representatives.
+
+        Call :meth:`contract` first; chains are then fully collapsed and one
+        lookup round suffices.
+        """
+        uniq_qs, inverses, dests = [], [], []
+        for i in range(self.p):
+            q = np.asarray(queries_per_pe[i], dtype=np.int64)
+            uniq, inv = np.unique(q, return_inverse=True)
+            uniq_qs.append(uniq)
+            inverses.append(inv)
+            dests.append(owner_of(uniq, self.n, self.p))
+        recv, recv_src, orders = route_rows(self.comm, uniq_qs, dests,
+                                            method=self.alltoall)
+        replies = []
+        for i in range(self.p):
+            q = recv[i]
+            replies.append(self.blocks[i][q - self.bounds[i]]
+                           if len(q) else np.empty(0, dtype=np.int64))
+            self.comm.machine.charge_hash(np.array([len(q)]),
+                                          ranks=np.array([i]))
+        back, _, _ = route_rows(self.comm, replies, recv_src,
+                                method=self.alltoall)
+        out = []
+        for i in range(self.p):
+            if len(uniq_qs[i]) == 0:
+                out.append(np.empty(0, dtype=np.int64))
+                continue
+            resolved = unsort(orders[i], back[i])
+            out.append(resolved[inverses[i]])
+        return out
+
+    def assembled(self) -> np.ndarray:
+        """The full array (testing/diagnostics only -- not a PE operation)."""
+        return np.concatenate(self.blocks) if self.n else np.empty(
+            0, dtype=np.int64)

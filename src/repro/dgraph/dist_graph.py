@@ -1,0 +1,232 @@
+"""The distributed graph data structure of Section II-B.
+
+A :class:`DistGraph` is a lexicographically sorted sequence of directed
+edges, 1D-partitioned over the PEs of a simulated
+:class:`~repro.simmpi.machine.Machine`: PE ``i`` holds the contiguous
+subsequence ``E_i``.  For every edge ``(u, v, w)`` the back edge
+``(v, u, w)`` is also present somewhere in the global sequence.
+
+Terminology (Fig. 1 of the paper), always from PE ``i``'s point of view:
+
+local vertex
+    a source vertex appearing in ``E_i``;
+shared vertex
+    a vertex whose edges straddle a PE boundary (it is "local" on several
+    PEs); possible because the partition cuts the sorted sequence at
+    arbitrary positions;
+ghost vertex
+    a non-local vertex appearing as a destination in ``E_i``;
+local edge / cut edge
+    both endpoints local / otherwise.
+
+Replicated metadata: each PE holds the array of every PE's
+lexicographically-smallest edge (``min_lex(E_i)``), enabling home-PE
+localisation of a vertex or edge by binary search
+(:mod:`repro.dgraph.search`).  Empty PEs inherit their successor's key so the
+search semantics ("rightmost PE whose first edge is <= the query") stay
+correct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..simmpi.collectives import Comm
+from ..simmpi.machine import Machine
+from .edges import Edges
+from .search import home_pe_of_edges, home_pe_of_vertices
+
+#: Sentinel key component for PEs with no following non-empty PE.
+KEY_SENTINEL = np.iinfo(np.int64).max
+
+
+class DistGraph:
+    """1D-partitioned, globally lexicographically sorted distributed edge list."""
+
+    def __init__(self, machine: Machine, parts: Sequence[Edges],
+                 check: bool = True):
+        if len(parts) != machine.n_procs:
+            raise ValueError(
+                f"need {machine.n_procs} parts, got {len(parts)}"
+            )
+        self.machine = machine
+        self.comm = Comm(machine)
+        self.parts: List[Edges] = list(parts)
+        if check:
+            self._check_local_sorted()
+        self.rebuild_min_keys()
+        if check:
+            self._check_global_sorted()
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global_edges(cls, machine: Machine, edges: Edges,
+                          avoid_shared: bool = False) -> "DistGraph":
+        """Sort a global edge list and block-partition it over the PEs.
+
+        With ``avoid_shared`` the block boundaries are moved forward to the
+        next source-group boundary, reproducing the KaGen input guarantee
+        that the initial partition has no shared vertices (Section VII).
+        """
+        p = machine.n_procs
+        g = edges.sort_lex()
+        # Directed-edge ids are positions in the sorted global sequence --
+        # the contract the MST output stage (REDISTRIBUTEMST) relies on.
+        g.id[:] = np.arange(len(g), dtype=np.int64)
+        m = len(g)
+        bounds = np.linspace(0, m, p + 1).astype(np.int64)
+        if avoid_shared and m:
+            for i in range(1, p):
+                b = bounds[i]
+                # Advance to the first edge with a new source vertex.
+                while 0 < b < m and g.u[b] == g.u[b - 1]:
+                    b += 1
+                bounds[i] = max(b, bounds[i - 1])
+            bounds[p] = m
+        parts = [g.take(np.arange(bounds[i], bounds[i + 1]))
+                 for i in range(p)]
+        return cls(machine, parts)
+
+    def _check_local_sorted(self) -> None:
+        for i, part in enumerate(self.parts):
+            if not part.is_sorted_lex():
+                raise ValueError(f"part {i} is not lexicographically sorted")
+
+    def _check_global_sorted(self) -> None:
+        prev_last: Optional[tuple] = None
+        for i, part in enumerate(self.parts):
+            if len(part) == 0:
+                continue
+            first = (int(part.u[0]), int(part.v[0]), int(part.w[0]))
+            if prev_last is not None and first < prev_last:
+                raise ValueError(
+                    f"global sortedness violated at PE {i}: {first} < {prev_last}"
+                )
+            prev_last = (int(part.u[-1]), int(part.v[-1]), int(part.w[-1]))
+
+    # ------------------------------------------------------------------
+    # Replicated metadata (allgather of boundary information).
+    # ------------------------------------------------------------------
+    def rebuild_min_keys(self) -> None:
+        """Re-establish the replicated ``min_lex`` array and boundary info.
+
+        Performed with one allgather of a constant-size record per PE,
+        exactly like the paper's REDISTRIBUTE re-establishes the structure
+        (Section IV-C).
+        """
+        p = self.machine.n_procs
+        records = []
+        for part in self.parts:
+            if len(part):
+                records.append(np.array(
+                    [1, part.u[0], part.v[0], part.w[0],
+                     part.u[-1], len(part)], dtype=np.int64))
+            else:
+                records.append(np.array([0, 0, 0, 0, 0, 0], dtype=np.int64))
+        gathered = np.stack(self.comm.allgather(records))
+        self.has_edges = gathered[:, 0] == 1
+        first_u = gathered[:, 1].copy()
+        first_v = gathered[:, 2].copy()
+        first_w = gathered[:, 3].copy()
+        self.last_src = gathered[:, 4].copy()
+        self.part_sizes = gathered[:, 5].copy()
+        # Empty PEs inherit the next non-empty PE's key (sentinel at the end).
+        nk_u = np.full(p, KEY_SENTINEL, dtype=np.int64)
+        nk_v = np.full(p, KEY_SENTINEL, dtype=np.int64)
+        nk_w = np.full(p, KEY_SENTINEL, dtype=np.int64)
+        nxt_u = nxt_v = nxt_w = KEY_SENTINEL
+        for i in range(p - 1, -1, -1):
+            if self.has_edges[i]:
+                nxt_u, nxt_v, nxt_w = first_u[i], first_v[i], first_w[i]
+            nk_u[i], nk_v[i], nk_w[i] = nxt_u, nxt_v, nxt_w
+        self.min_keys = (nk_u, nk_v, nk_w)
+        # Resident footprint: the edge block (4 x int64 per directed edge)
+        # plus the compressed initial-copy / working-buffer headroom.  The
+        # paper needs >= 4096 cores before wdc-14 fits (Section VII-B); a
+        # machine memory limit reproduces that gate for our algorithms too.
+        self.machine.check_memory(self.part_sizes.astype(np.float64) * 64.0)
+        self.first_src = np.where(self.has_edges, first_u, KEY_SENTINEL)
+        # Shared-vertex flags: does part i start with the previous non-empty
+        # part's last source vertex / end with the next's first?
+        self.shared_first = np.zeros(p, dtype=bool)
+        prev_last = None
+        for i in range(p):
+            if not self.has_edges[i]:
+                continue
+            if prev_last is not None and first_u[i] == prev_last:
+                self.shared_first[i] = True
+            prev_last = self.last_src[i]
+
+    # ------------------------------------------------------------------
+    # Global quantities.
+    # ------------------------------------------------------------------
+    def global_edge_count(self) -> int:
+        """Total directed edges across all PEs (replicated metadata)."""
+        return int(self.part_sizes.sum())
+
+    def local_vertex_counts(self) -> np.ndarray:
+        """Distinct source vertices per PE (shared vertices counted on each)."""
+        return np.array(
+            [len(np.unique(part.u)) if len(part) else 0 for part in self.parts],
+            dtype=np.int64,
+        )
+
+    def global_vertex_count(self) -> int:
+        """Number of distinct source vertices in the global sequence.
+
+        Shared vertices are counted once: each PE-boundary where the next
+        non-empty part begins with this part's last source subtracts one.
+        """
+        counts = self.local_vertex_counts()
+        return int(counts.sum() - self.shared_first.sum())
+
+    def shared_vertex_set(self) -> np.ndarray:
+        """Sorted array of all globally shared vertices.
+
+        A vertex is shared iff its edge range spans a PE boundary, i.e. it is
+        the first source of some part that continues its predecessor's last
+        source.  Computable from the replicated boundary metadata alone --
+        the property the paper exploits to skip communication for shared
+        vertices during pointer doubling (Section IV-B).
+        """
+        vals = self.first_src[self.shared_first]
+        return np.unique(vals)
+
+    # ------------------------------------------------------------------
+    # Localisation (binary search on the replicated min_lex array).
+    # ------------------------------------------------------------------
+    def home_of_edges(self, qu: np.ndarray, qv: np.ndarray,
+                      qw: np.ndarray) -> np.ndarray:
+        """Home PE of the directed edges ``(qu, qv, qw)``."""
+        return home_pe_of_edges(self.min_keys, qu, qv, qw)
+
+    def home_of_vertices(self, qv: np.ndarray) -> np.ndarray:
+        """A PE owning edges with source ``qv`` (the rightmost such PE)."""
+        return home_pe_of_vertices(self.min_keys[0], qv)
+
+    # ------------------------------------------------------------------
+    # Per-part vertex structure (source groups are contiguous).
+    # ------------------------------------------------------------------
+    def vertex_groups(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(distinct source vertices of part i, group start offsets).
+
+        ``starts`` has one extra trailing entry ``len(part)`` so group ``k``
+        spans ``[starts[k], starts[k+1])``.
+        """
+        part = self.parts[i]
+        if len(part) == 0:
+            z = np.empty(0, dtype=np.int64)
+            return z, np.zeros(1, dtype=np.int64)
+        change = np.ones(len(part), dtype=bool)
+        change[1:] = part.u[1:] != part.u[:-1]
+        starts = np.flatnonzero(change)
+        vids = part.u[starts]
+        return vids, np.append(starts, len(part))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DistGraph(p={self.machine.n_procs}, "
+                f"m={self.global_edge_count()})")

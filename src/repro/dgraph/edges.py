@@ -1,0 +1,187 @@
+"""Edge-array container and ordering utilities.
+
+The paper represents a graph as a lexicographically sorted sequence of
+*directed* edges ``e = (u, v, w)``; for every edge the back edge ``(v, u, w)``
+is also present (Section II-B).  :class:`Edges` stores such a sequence as
+four parallel int64 numpy arrays:
+
+``u``  source vertex label,
+``v``  destination vertex label,
+``w``  weight (the experiments draw integer weights uniformly from [1, 255)),
+``id`` global id of the *directed* edge in the original input sequence --
+       used to report original endpoints of MST edges after contractions
+       have relabelled ``u``/``v`` (Section VI-C).
+
+Tie-breaking
+------------
+Borůvka-style algorithms need a total order on (current) vertex *pairs* so
+that minimum-edge selection cannot create cycles when weights collide
+(Section II-C: "one can use vertex labels to consistently break ties").  We
+use the key
+
+    ``(w, min(u, v), max(u, v))``
+
+throughout -- both in the distributed algorithms and in the sequential
+baselines, so that all implementations select the same forest whenever the
+input has no exactly-parallel duplicate edges (and the same *weight* in all
+cases).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class Edges:
+    """A sequence of directed weighted edges as parallel int64 arrays."""
+
+    __slots__ = ("u", "v", "w", "id")
+
+    def __init__(self, u, v, w, id=None):
+        self.u = np.ascontiguousarray(u, dtype=np.int64)
+        self.v = np.ascontiguousarray(v, dtype=np.int64)
+        self.w = np.ascontiguousarray(w, dtype=np.int64)
+        if id is None:
+            id = np.arange(len(self.u), dtype=np.int64)
+        self.id = np.ascontiguousarray(id, dtype=np.int64)
+        n = len(self.u)
+        if not (len(self.v) == len(self.w) == len(self.id) == n):
+            raise ValueError("u, v, w, id must have equal length")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Edges":
+        """An edge sequence of length zero."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(z, z.copy(), z.copy(), z.copy())
+
+    @classmethod
+    def concat(cls, parts: Iterable["Edges"]) -> "Edges":
+        """Concatenate edge sequences (order preserved, no re-sorting)."""
+        parts = list(parts)
+        if not parts:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.u for p in parts]),
+            np.concatenate([p.v for p in parts]),
+            np.concatenate([p.w for p in parts]),
+            np.concatenate([p.id for p in parts]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.u)
+
+    def take(self, idx) -> "Edges":
+        """Subset / reorder by integer or boolean index."""
+        return Edges(self.u[idx], self.v[idx], self.w[idx], self.id[idx])
+
+    def copy(self) -> "Edges":
+        """A deep copy (all four arrays duplicated)."""
+        return Edges(self.u.copy(), self.v.copy(), self.w.copy(), self.id.copy())
+
+    # ------------------------------------------------------------------
+    # Ordering.
+    # ------------------------------------------------------------------
+    def lex_order(self) -> np.ndarray:
+        """Permutation sorting by the paper's lexicographic order (u, v, w)."""
+        return np.lexsort((self.w, self.v, self.u))
+
+    def sort_lex(self) -> "Edges":
+        """Sorted copy in lexicographic (u, v, w) order."""
+        return self.take(self.lex_order())
+
+    def is_sorted_lex(self) -> bool:
+        """Whether the sequence is in lexicographic (u, v, w) order."""
+        if len(self) <= 1:
+            return True
+        u, v, w = self.u, self.v, self.w
+        du = np.diff(u)
+        if (du < 0).any():
+            return False
+        eq_u = du == 0
+        dv = np.diff(v)
+        if (dv[eq_u] < 0).any():
+            return False
+        eq_uv = eq_u & (dv == 0)
+        if (np.diff(w)[eq_uv] < 0).any():
+            return False
+        return True
+
+    def tie_key(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Total-order key arrays (w, min(u,v), max(u,v)), priority first.
+
+        Pass reversed to ``np.lexsort`` (which takes least-significant key
+        first): ``np.lexsort(edges.tie_key()[::-1])``.
+        """
+        cu = np.minimum(self.u, self.v)
+        cv = np.maximum(self.u, self.v)
+        return self.w, cu, cv
+
+    def weight_order(self) -> np.ndarray:
+        """Permutation sorting by the tie-breaking total order."""
+        w, cu, cv = self.tie_key()
+        return np.lexsort((cv, cu, w))
+
+    # ------------------------------------------------------------------
+    # Communication helpers.
+    # ------------------------------------------------------------------
+    N_COLS = 4
+
+    def as_matrix(self) -> np.ndarray:
+        """Pack into an ``(m, 4)`` int64 matrix ``[u, v, w, id]`` for transport."""
+        out = np.empty((len(self), self.N_COLS), dtype=np.int64)
+        out[:, 0] = self.u
+        out[:, 1] = self.v
+        out[:, 2] = self.w
+        out[:, 3] = self.id
+        return out
+
+    @classmethod
+    def from_matrix(cls, mat: np.ndarray) -> "Edges":
+        """Unpack an ``(m, 4)`` transport matrix back into an edge sequence."""
+        mat = np.asarray(mat, dtype=np.int64).reshape(-1, cls.N_COLS)
+        return cls(mat[:, 0], mat[:, 1], mat[:, 2], mat[:, 3])
+
+    # ------------------------------------------------------------------
+    # Structure helpers.
+    # ------------------------------------------------------------------
+    def with_back_edges(self) -> "Edges":
+        """Union with the reversed edges (making the sequence symmetric)."""
+        return Edges(
+            np.concatenate([self.u, self.v]),
+            np.concatenate([self.v, self.u]),
+            np.concatenate([self.w, self.w]),
+            np.concatenate([self.id, self.id]),
+        )
+
+    def canonical_triples(self) -> np.ndarray:
+        """Sorted (w, min(u,v), max(u,v)) rows -- the *undirected* multiset.
+
+        Two MSF computations agree iff these arrays are equal (weights alone
+        are enough for optimality checks; the triples additionally pin the
+        edge set up to exactly-parallel duplicates).
+        """
+        w, cu, cv = self.tie_key()
+        trip = np.stack([w, cu, cv], axis=1)
+        order = np.lexsort((cv, cu, w))
+        return trip[order]
+
+    def total_weight(self) -> int:
+        """Sum of the weight column."""
+        return int(self.w.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Edges(m={len(self)})"
+
+
+def merge_sorted(parts: Sequence[Edges]) -> Edges:
+    """Concatenate lexicographically sorted runs and restore global order.
+
+    numpy has no k-way merge; a stable lexsort of the concatenation is
+    O(m log m) but vectorised, which is the right trade-off here (see the
+    hpc-parallel guide: prefer vectorised numpy over Python-level loops).
+    """
+    cat = Edges.concat(parts)
+    return cat.sort_lex()

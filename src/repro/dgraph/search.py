@@ -1,0 +1,83 @@
+"""Vectorised lexicographic searchsorted for home-PE localisation.
+
+Section II-B: "We replicate an array of size p containing min_lex(E_i) ...
+This allows localization of the home PE of a vertex or edge by binary
+search."  The keys are (u, v, w) triples; numpy's ``searchsorted`` only
+handles scalar keys, so this module provides a vectorised multi-key variant
+built on one ``lexsort`` over keys and queries combined -- O((p+q) log(p+q))
+for q queries against p keys, with no per-query Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def lex_searchsorted(
+    keys: Sequence[np.ndarray],
+    queries: Sequence[np.ndarray],
+    side: str = "right",
+) -> np.ndarray:
+    """Insertion indices of lexicographic ``queries`` into sorted ``keys``.
+
+    ``keys`` and ``queries`` are sequences of equally many component arrays,
+    most-significant component first (e.g. ``(u, v, w)``).  ``keys`` must be
+    lexicographically sorted.  Semantics match ``np.searchsorted``: with
+    ``side='right'`` the result counts keys <= query, with ``side='left'``
+    keys < query.
+    """
+    if side not in ("left", "right"):
+        raise ValueError("side must be 'left' or 'right'")
+    n_comp = len(keys)
+    if len(queries) != n_comp:
+        raise ValueError("keys and queries must have the same number of components")
+    k = len(keys[0]) if n_comp else 0
+    q = len(queries[0]) if n_comp else 0
+    if q == 0:
+        return np.empty(0, dtype=np.int64)
+    if k == 0:
+        return np.zeros(q, dtype=np.int64)
+
+    merged = [
+        np.concatenate([np.asarray(keys[c], dtype=np.int64),
+                        np.asarray(queries[c], dtype=np.int64)])
+        for c in range(n_comp)
+    ]
+    is_query = np.zeros(k + q, dtype=np.int8)
+    is_query[k:] = 1
+    # side='right': equal queries sort after keys (tie-break key 1);
+    # side='left': before (tie-break 0 for queries via negation).
+    tie = is_query if side == "right" else (1 - is_query)
+    # lexsort takes least-significant key first.
+    order = np.lexsort(tuple([tie] + list(reversed(merged))))
+    sorted_is_query = is_query[order] == 1
+    keys_before = np.cumsum(~sorted_is_query)
+    result = np.empty(q, dtype=np.int64)
+    query_positions = order[sorted_is_query] - k
+    result[query_positions] = keys_before[sorted_is_query]
+    return result
+
+
+def home_pe_of_edges(
+    min_keys: Sequence[np.ndarray],
+    qu: np.ndarray,
+    qv: np.ndarray,
+    qw: np.ndarray,
+) -> np.ndarray:
+    """Home PE of each queried directed edge ``(qu, qv, qw)``.
+
+    ``min_keys = (u, v, w)`` is the replicated per-PE first-edge array (with
+    empty PEs holding their successor's key, see
+    :meth:`repro.dgraph.dist_graph.DistGraph.rebuild_min_keys`).  The home PE
+    is the rightmost PE whose first edge is <= the query.
+    """
+    idx = lex_searchsorted(min_keys, (qu, qv, qw), side="right") - 1
+    return np.maximum(idx, 0)
+
+
+def home_pe_of_vertices(min_u: np.ndarray, qv: np.ndarray) -> np.ndarray:
+    """A PE that owns edges with source vertex ``qv`` (rightmost such PE)."""
+    idx = np.searchsorted(min_u, np.asarray(qv, dtype=np.int64), side="right") - 1
+    return np.maximum(idx, 0)

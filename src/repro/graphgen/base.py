@@ -1,0 +1,103 @@
+"""Common scaffolding for the graph generators.
+
+All generators produce a :class:`GeneratedGraph`: a *global* symmetric
+directed edge sequence in lexicographic order with integer weights assigned
+uniformly at random per *undirected* edge (the paper's experimental setup,
+Section VII: "we assign a weight drawn uniformly at random from [1, 255) to
+each edge", following [36]).
+
+:func:`distribute` turns a generated graph into the 1D-partitioned
+:class:`~repro.dgraph.dist_graph.DistGraph`, with the KaGen input guarantee
+reproduced: "KaGen ensures that the generated edges are globally
+lexicographically sorted and thus do not produce shared vertices for the
+input" -- block boundaries are aligned to source-group boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..dgraph.dist_graph import DistGraph
+from ..dgraph.edges import Edges
+from ..simmpi.machine import Machine
+from .weights import assign_uniform_weights
+
+#: Weight range of the paper's experiments (uniform integers in [1, 255)).
+WEIGHT_LOW = 1
+WEIGHT_HIGH = 255
+
+
+@dataclass
+class GeneratedGraph:
+    """A generated instance: global sorted symmetric edge list + metadata."""
+
+    name: str
+    n_vertices: int
+    edges: Edges  # symmetric directed, lexicographically sorted
+    params: Dict = field(default_factory=dict)
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Length of the symmetric directed edge sequence."""
+        return len(self.edges)
+
+    @property
+    def n_undirected_edges(self) -> int:
+        """Number of undirected edges (half the directed count)."""
+        return len(self.edges) // 2
+
+    def distribute(self, machine: Machine, avoid_shared: bool = True) -> DistGraph:
+        """1D-partition the edge sequence over the machine's PEs."""
+        return DistGraph.from_global_edges(machine, self.edges,
+                                           avoid_shared=avoid_shared)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GeneratedGraph({self.name}, n={self.n_vertices}, "
+                f"m={self.n_undirected_edges})")
+
+
+def finalize_pairs(
+    name: str,
+    u: np.ndarray,
+    v: np.ndarray,
+    n_vertices: int,
+    seed: int,
+    params: Dict | None = None,
+    weight_low: int = WEIGHT_LOW,
+    weight_high: int = WEIGHT_HIGH,
+) -> GeneratedGraph:
+    """Standard generator postprocessing.
+
+    Canonicalises undirected pairs, removes self loops and duplicates,
+    assigns per-undirected-edge weights, symmetrises (adds back edges), sorts
+    lexicographically and assigns directed-edge ids by final position.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    cu = np.minimum(u, v)
+    cv = np.maximum(u, v)
+    # Dedup canonical pairs via a single int64 code (n < 2^31 guaranteed by
+    # the generators' scales).
+    if n_vertices >= (1 << 31):
+        raise ValueError("n_vertices too large for pair encoding")
+    code = cu * np.int64(n_vertices) + cv
+    code = np.unique(code)
+    cu = code // n_vertices
+    cv = code % n_vertices
+    w = assign_uniform_weights(len(cu), seed=seed, low=weight_low,
+                               high=weight_high)
+    sym = Edges(
+        np.concatenate([cu, cv]),
+        np.concatenate([cv, cu]),
+        np.concatenate([w, w]),
+    ).sort_lex()
+    sym.id[:] = np.arange(len(sym), dtype=np.int64)
+    return GeneratedGraph(
+        name=name, n_vertices=int(n_vertices), edges=sym,
+        params=dict(params or {}),
+    )

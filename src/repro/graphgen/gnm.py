@@ -1,0 +1,48 @@
+"""Erdős-Renyi G(n, m) graphs (the paper's GNM family).
+
+"In Erdős-Renyi graphs, each edge is inserted with a probability given as an
+input parameter" -- we implement the G(n, m) variant KaGen uses for weak
+scaling (fixed edge count proportional to the core count), sampling ``m``
+distinct undirected pairs uniformly.  GNM graphs "consist almost exclusively
+of cut-edges" under 1D partitioning, making them the communication-heaviest
+family and the one where Filter-Borůvka's advantage peaks (up to 4x,
+Section VII-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GeneratedGraph, finalize_pairs
+
+
+def gen_gnm(n: int, m: int, seed: int = 0) -> GeneratedGraph:
+    """Uniform random graph with ``n`` vertices and ``m`` undirected edges.
+
+    Sampling is by rejection: draw batches of random pairs, deduplicate,
+    repeat until ``m`` distinct pairs are found (efficient while
+    ``m << n^2 / 2``, which holds for every experiment scale here).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds the {max_m} possible edges")
+    rng = np.random.default_rng(seed)
+    codes: np.ndarray = np.empty(0, dtype=np.int64)
+    need = m
+    while need > 0:
+        batch = int(need * 1.2) + 16
+        u = rng.integers(0, n, batch, dtype=np.int64)
+        v = rng.integers(0, n, batch, dtype=np.int64)
+        ok = u != v
+        cu = np.minimum(u[ok], v[ok])
+        cv = np.maximum(u[ok], v[ok])
+        codes = np.unique(np.concatenate([codes, cu * n + cv]))
+        need = m - len(codes)
+    if len(codes) > m:
+        codes = rng.choice(codes, m, replace=False)
+    return finalize_pairs(
+        "GNM", codes // n, codes % n, n, seed,
+        params={"n": n, "m": m},
+    )

@@ -1,0 +1,150 @@
+"""Synthetic stand-ins for the paper's real-world instances (Table I).
+
+The strong-scaling experiments (Fig. 5) use six real-world graphs between
+57 million and 124 *billion* directed edges.  Those datasets (and the memory
+to hold them) are unavailable here, so -- per the substitution rule in
+DESIGN.md -- each instance is replaced by a scaled-down synthetic graph of
+the same *structural class*, because the paper's strong-scaling story is
+driven by structure, not absolute size:
+
+* **social** (friendster, twitter): scrambled R-MAT with Graph500
+  probabilities -- heavy-tailed degrees, no numbering locality.  This is the
+  regime where the paper's shared-vertex 1D partitioning and the filtering
+  approach win.
+* **web** (uk-2007, it-2004, wdc-14): a locality-preserving power-law
+  "copying" model -- most links go to nearby vertex ids (web crawls are
+  host-ordered), high density.  Local preprocessing is effective here.
+* **road** (US-road): a perturbed 2D grid -- near-planar, constant degree,
+  huge diameter, tiny m/n.  The hardest instance to scale strongly (the
+  paper's best time is reached at 8192 cores and degrades after).
+
+Every stand-in preserves the original's m/n ratio (to within sampling noise)
+and records its linear scale factor; EXPERIMENTS.md reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from .base import GeneratedGraph, finalize_pairs
+from .grid import gen_grid2d
+from .rmat import gen_rmat
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Metadata tying a stand-in to its Table-I original."""
+
+    name: str
+    paper_n: float  # vertices in the paper's instance
+    paper_m: float  # symmetric directed edges in the paper's instance
+    graph_type: str  # social | web | road
+    #: default stand-in vertex count (scaled down so simulation is feasible)
+    default_n: int
+
+
+#: The six instances of Table I.
+TABLE_I: Dict[str, InstanceSpec] = {
+    "friendster": InstanceSpec("friendster", 68.3e6, 3.6e9, "social", 1 << 14),
+    "twitter": InstanceSpec("twitter", 41.7e6, 2.4e9, "social", 1 << 14),
+    "uk-2007": InstanceSpec("uk-2007", 105.9e6, 6.6e9, "web", 1 << 15),
+    "it-2004": InstanceSpec("it-2004", 41.3e6, 2.1e9, "web", 1 << 14),
+    "wdc-14": InstanceSpec("wdc-14", 1.7e9, 123.9e9, "web", 1 << 16),
+    "US-road": InstanceSpec("US-road", 23.9e6, 57.7e6, "road", 1 << 16),
+}
+
+
+def _gen_social(spec: InstanceSpec, n: int, seed: int) -> GeneratedGraph:
+    m_undirected = int(n * spec.paper_m / spec.paper_n / 2.0)
+    log_n = max(1, int(np.ceil(np.log2(n))))
+    g = gen_rmat(log_n, m_undirected, seed=seed, scramble=True)
+    return g
+
+
+def _gen_web(spec: InstanceSpec, n: int, seed: int) -> GeneratedGraph:
+    """Locality-preserving power-law copying model.
+
+    Each vertex u links to ``deg(u)`` targets at power-law-distributed id
+    distances (mostly nearby: web graphs in crawl order have strong
+    locality), with a small fraction of uniform long-range links.  Degrees
+    are heavy-tailed (Zipf) like real web graphs.
+    """
+    rng = np.random.default_rng(seed)
+    target_m = int(n * spec.paper_m / spec.paper_n / 2.0)
+    # Heavy-tailed out-degrees normalised to the target edge count.
+    raw = rng.zipf(2.2, n).astype(np.float64)
+    deg = np.maximum(1, (raw * target_m / raw.sum()).astype(np.int64))
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    k = len(src)
+    # Power-law distances: P(dist = d) ~ 1/d over [1, n).
+    dist = np.exp(rng.random(k) * np.log(max(n - 1, 2))).astype(np.int64)
+    dist = np.maximum(dist, 1)
+    sign = rng.integers(0, 2, k) * 2 - 1
+    dst = src + sign * dist
+    # ~3 % uniform long-range links.
+    far = rng.random(k) < 0.03
+    dst[far] = rng.integers(0, n, int(far.sum()))
+    dst = np.clip(dst, 0, n - 1)
+    return finalize_pairs(
+        f"web-standin", src, dst, n, seed,
+        params={"model": "copying", "target_m": target_m},
+    )
+
+
+def _gen_road(spec: InstanceSpec, n: int, seed: int) -> GeneratedGraph:
+    """Perturbed 2D grid: remove a random 12 % of edges, add 5 % diagonals."""
+    side = max(2, int(np.sqrt(n)))
+    base = gen_grid2d(side, side, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    e = base.edges
+    forward = e.u < e.v  # one representative per undirected edge
+    u, v = e.u[forward], e.v[forward]
+    keep = rng.random(len(u)) >= 0.12
+    u, v = u[keep], v[keep]
+    n_sq = side * side
+    # Diagonal shortcuts.
+    n_diag = int(0.05 * len(u))
+    du = rng.integers(0, n_sq - side - 1, n_diag)
+    dv = du + side + 1
+    return finalize_pairs(
+        "road-standin", np.concatenate([u, du]), np.concatenate([v, dv]),
+        n_sq, seed, params={"side": side},
+    )
+
+
+_GENERATORS: Dict[str, Callable[[InstanceSpec, int, int], GeneratedGraph]] = {
+    "social": _gen_social,
+    "web": _gen_web,
+    "road": _gen_road,
+}
+
+
+def gen_realworld(name: str, n: int | None = None,
+                  seed: int = 0) -> GeneratedGraph:
+    """Generate the stand-in for a Table-I instance by name.
+
+    ``n`` overrides the default stand-in size (the m/n ratio of the original
+    is preserved either way).  The returned graph's ``params`` record the
+    original's statistics and the applied scale factor.
+    """
+    try:
+        spec = TABLE_I[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown instance {name!r}; choose from {sorted(TABLE_I)}"
+        )
+    n = int(n if n is not None else spec.default_n)
+    g = _GENERATORS[spec.graph_type](spec, n, seed)
+    g.params.update(
+        instance=name,
+        graph_type=spec.graph_type,
+        paper_n=spec.paper_n,
+        paper_m=spec.paper_m,
+        scale_factor=spec.paper_n / max(g.n_vertices, 1),
+    )
+    # Rename to the instance for reporting.
+    g.name = name
+    return g

@@ -1,0 +1,88 @@
+"""Random geometric graphs in 2D and 3D (the paper's 2D/3D-RGG families).
+
+"RGGs are constructed by placing vertices uniformly at random in the unit
+square (unit cube for 3D) ... Vertices are connected if the Euclidean
+distance is below a threshold d."  To mirror KaGen's spatial partitioning --
+which gives the family its locality under 1D partitioning -- vertices are
+numbered by spatial cell (Morton-ish row-major cell order), so nearby
+vertices get nearby labels and most edges become local edges.
+
+Neighbour search uses ``scipy.spatial.cKDTree.query_pairs`` (exact, no
+approximation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .base import GeneratedGraph, finalize_pairs
+
+
+def radius_for_avg_degree(n: int, avg_degree: float, dim: int) -> float:
+    """Connection radius giving expected average degree ``avg_degree``.
+
+    In the unit square/cube the expected degree of a vertex is approximately
+    ``n * volume(ball(r))`` (ignoring boundary effects):
+    2D: ``n * pi r^2``;  3D: ``n * 4/3 pi r^3``.
+    """
+    if dim == 2:
+        return float(np.sqrt(avg_degree / (np.pi * n)))
+    if dim == 3:
+        return float((avg_degree / (4.0 / 3.0 * np.pi * n)) ** (1.0 / 3.0))
+    raise ValueError("dim must be 2 or 3")
+
+
+def _spatial_relabel(points: np.ndarray, radius: float) -> np.ndarray:
+    """Renumber points by spatial cell, then by position within the cell.
+
+    Cells have side ~radius; ordering cells row-major and points by cell id
+    reproduces the locality KaGen's per-PE spatial regions give the paper's
+    instances.  Returns the permutation ``order`` such that new vertex ``k``
+    is original point ``order[k]``.
+    """
+    cell_side = max(radius, 1e-9)
+    grid = np.floor(points / cell_side).astype(np.int64)
+    n_cells = int(grid.max()) + 1 if len(grid) else 1
+    code = np.zeros(len(points), dtype=np.int64)
+    for d in range(points.shape[1]):
+        code = code * n_cells + grid[:, d]
+    return np.argsort(code, kind="stable")
+
+
+def gen_rgg(n: int, dim: int, avg_degree: float | None = None,
+            radius: float | None = None, seed: int = 0) -> GeneratedGraph:
+    """Random geometric graph with ``n`` vertices in ``[0,1]^dim``.
+
+    Give either ``radius`` or ``avg_degree`` (the experiments scale the
+    threshold so m is proportional to the core count, Section VII).
+    """
+    if (radius is None) == (avg_degree is None):
+        raise ValueError("give exactly one of radius / avg_degree")
+    if radius is None:
+        radius = radius_for_avg_degree(n, float(avg_degree), dim)
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, dim))
+    order = _spatial_relabel(points, radius)
+    points = points[order]
+    tree = cKDTree(points)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    name = f"{dim}D-RGG"
+    return finalize_pairs(
+        name, pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64),
+        n, seed,
+        params={"n": n, "dim": dim, "radius": radius,
+                "avg_degree": avg_degree},
+    )
+
+
+def gen_rgg2d(n: int, avg_degree: float | None = None,
+              radius: float | None = None, seed: int = 0) -> GeneratedGraph:
+    """2D random geometric graph (see :func:`gen_rgg`)."""
+    return gen_rgg(n, 2, avg_degree=avg_degree, radius=radius, seed=seed)
+
+
+def gen_rgg3d(n: int, avg_degree: float | None = None,
+              radius: float | None = None, seed: int = 0) -> GeneratedGraph:
+    """3D random geometric graph (see :func:`gen_rgg`)."""
+    return gen_rgg(n, 3, avg_degree=avg_degree, radius=radius, seed=seed)

@@ -1,0 +1,109 @@
+"""Instance statistics: the quantities the paper's analysis conditions on.
+
+The weak-scaling discussion (Section VII-A) explains every result through
+three structural properties: *locality* (fraction of local edges under the
+1D partition -- what preprocessing exploits), *degree skew* (what breaks
+MND-MST and motivates shared vertices), and *density* m/n (what filtering
+exploits).  This module computes them, plus the usual degree statistics,
+for any instance -- used by the CLI's ``info`` command, the Table-I bench
+and the generator tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dgraph.edges import Edges
+from .base import GeneratedGraph
+
+
+@dataclass
+class GraphStatistics:
+    """Structural summary of one instance."""
+
+    n_vertices: int
+    m_undirected: int
+    avg_degree: float
+    max_degree: int
+    #: Gini coefficient of the degree distribution (0 = regular, -> 1 =
+    #: extremely skewed).  Grid ~0, GNM small, RMAT/RHG large.
+    degree_gini: float
+    #: Fraction of edges whose endpoints land on the same PE under an
+    #: edge-balanced 1D partition into ``locality_parts`` blocks.
+    locality_fraction: float
+    locality_parts: int
+    weight_min: int
+    weight_max: int
+
+    def summary(self) -> str:
+        """One-line rendering of the statistics."""
+        return (
+            f"n={self.n_vertices} m={self.m_undirected} "
+            f"avg_deg={self.avg_degree:.2f} max_deg={self.max_degree} "
+            f"gini={self.degree_gini:.2f} "
+            f"locality={self.locality_fraction:.1%}@{self.locality_parts}PEs"
+        )
+
+
+def degree_gini(degrees: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (vectorised)."""
+    d = np.sort(np.asarray(degrees, dtype=np.float64))
+    n = len(d)
+    if n == 0 or d.sum() == 0:
+        return 0.0
+    cum = np.cumsum(d)
+    # G = 1 - 2 * sum((cum - d/2)) / (n * total)
+    return float(1.0 - 2.0 * np.sum(cum - d / 2.0) / (n * cum[-1]))
+
+
+def locality_fraction(edges: Edges, n_parts: int) -> float:
+    """Local-edge fraction under an edge-balanced 1D partition.
+
+    An edge is local when source and destination fall in the same block of
+    the sorted edge sequence's vertex ranges -- the quantity the paper's
+    90 %-cut-edge skip rule tests.
+    """
+    if len(edges) == 0:
+        return 1.0
+    e = edges if edges.is_sorted_lex() else edges.sort_lex()
+    bounds = np.linspace(0, len(e), n_parts + 1).astype(np.int64)
+    local = 0
+    for i in range(n_parts):
+        lo, hi = bounds[i], bounds[i + 1]
+        if hi <= lo:
+            continue
+        v_lo, v_hi = e.u[lo], e.u[hi - 1]
+        seg_v = e.v[lo:hi]
+        local += int(((seg_v >= v_lo) & (seg_v <= v_hi)).sum())
+    return local / len(e)
+
+
+def graph_statistics(graph: GeneratedGraph | Edges,
+                     n_vertices: int | None = None,
+                     locality_parts: int = 16) -> GraphStatistics:
+    """Compute the full structural summary of an instance."""
+    if isinstance(graph, GeneratedGraph):
+        edges = graph.edges
+        n = graph.n_vertices
+    else:
+        edges = graph
+        if n_vertices is None:
+            raise ValueError("pass n_vertices for a raw edge sequence")
+        n = n_vertices
+    if len(edges) == 0:
+        return GraphStatistics(n, 0, 0.0, 0, 0.0, 1.0, locality_parts, 0, 0)
+    deg = np.bincount(edges.u, minlength=n)
+    deg_pos = deg[deg > 0]
+    return GraphStatistics(
+        n_vertices=n,
+        m_undirected=len(edges) // 2,
+        avg_degree=float(deg_pos.mean()),
+        max_degree=int(deg_pos.max()),
+        degree_gini=degree_gini(deg_pos),
+        locality_fraction=locality_fraction(edges, locality_parts),
+        locality_parts=locality_parts,
+        weight_min=int(edges.w.min()),
+        weight_max=int(edges.w.max()),
+    )

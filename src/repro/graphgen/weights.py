@@ -1,0 +1,32 @@
+"""Edge-weight assignment (Section VII).
+
+"Following the experimental setup in [36], we assign a weight drawn
+uniformly at random from [1, 255) to each edge."  Weights are assigned per
+*undirected* edge; both directed copies of an edge carry the same weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assign_uniform_weights(
+    n_edges: int, seed: int, low: int = 1, high: int = 255
+) -> np.ndarray:
+    """Integer weights uniform in ``[low, high)``, one per undirected edge."""
+    if high <= low:
+        raise ValueError("need high > low")
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=seed,
+                                                       spawn_key=(0xEDCE,)))
+    return rng.integers(low, high, n_edges, dtype=np.int64)
+
+
+def assign_distinct_weights(n_edges: int, seed: int) -> np.ndarray:
+    """A random permutation as weights -- guarantees a unique MST.
+
+    Not what the paper's experiments use, but handy for tests that check the
+    distributed and sequential algorithms select the *identical* edge set.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=seed,
+                                                       spawn_key=(0xD157,)))
+    return rng.permutation(n_edges).astype(np.int64) + 1

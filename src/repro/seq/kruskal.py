@@ -1,0 +1,46 @@
+"""Sequential Kruskal's algorithm [11] -- the ground-truth baseline.
+
+Every distributed run in the test suite is verified against this
+implementation: identical total weight always, identical edge multiset under
+the shared tie-breaking order (see :meth:`repro.dgraph.edges.Edges.tie_key`).
+"""
+
+from __future__ import annotations
+
+from ..dgraph.edges import Edges
+from .union_find import UnionFind
+
+
+def kruskal_msf(edges: Edges, n_vertices: int) -> Edges:
+    """Minimum spanning forest of an edge list over vertices ``0..n-1``.
+
+    Directed duplicates (back edges) are tolerated: an edge whose endpoints
+    are already connected is simply skipped.
+
+    Parameters
+    ----------
+    edges:
+        Any edge sequence (directed or symmetric, unsorted is fine).
+    n_vertices:
+        Number of vertex labels; all ``u``/``v`` must lie in ``[0, n)``.
+
+    Returns
+    -------
+    Edges
+        The MSF edges, one *directed representative* per forest edge, in
+        tie-break order.
+    """
+    if len(edges) == 0:
+        return Edges.empty()
+    if edges.u.min() < 0 or max(edges.u.max(), edges.v.max()) >= n_vertices:
+        raise ValueError("vertex labels out of range")
+    order = edges.weight_order()
+    sorted_e = edges.take(order)
+    uf = UnionFind(n_vertices)
+    keep = uf.union_edges(sorted_e.u, sorted_e.v)
+    return sorted_e.take(keep)
+
+
+def msf_weight(edges: Edges, n_vertices: int) -> int:
+    """Total weight of the minimum spanning forest."""
+    return kruskal_msf(edges, n_vertices).total_weight()

@@ -1,0 +1,439 @@
+"""Sparse personalized all-to-all exchanges (direct, two-level grid, hypercube).
+
+This module implements the communication primitive at the heart of the
+paper's algorithms (Sections II-A and VI-A).  Three delivery schemes are
+provided, all with identical semantics but different cost profiles:
+
+``alltoallv_direct``
+    One dense ``MPI_Alltoallv``: startup ``O(alpha * p)`` per PE regardless of
+    how many messages are non-empty, plus ``beta * l`` for bottleneck volume
+    ``l``.  This is what becomes prohibitive at scale (Fig. 2).
+
+``alltoallv_grid``
+    The paper's two-level scheme (Section VI-A): PEs are arranged in a
+    virtual ``c x r`` grid with ``c = floor(sqrt(p))`` columns and
+    ``r = ceil(p / c)`` rows.  A message from ``i`` to ``j`` is first routed
+    to the intermediate PE in row ``row(j)`` / column ``col(i)`` (an
+    all-to-all *within columns*), then delivered within the row.  Startup
+    drops to ``O(alpha * sqrt(p))`` at the cost of doubling the communicated
+    volume.  The incomplete-last-row case is handled exactly as described in
+    the paper: if ``j`` lies in the incomplete last row, the intermediate is
+    the PE in row ``col(j)`` / column ``col(i)`` and ``j`` is virtually
+    appended to row ``col(j)`` for the second exchange.
+
+``alltoallv_hypercube``
+    The ``d = log p`` extreme of the grid generalisation [Johnsson & Ho]:
+    ``log p`` pairwise exchange rounds, moving data up to ``log p`` times,
+    with startup ``O(alpha * log p)``.
+
+``alltoallv_auto``
+    The dispatch rule from Section VI-A: use the indirect grid scheme when
+    the average number of bytes per message is below a threshold (the paper
+    uses 500 bytes on SuperMUC-NG), the direct scheme otherwise.
+
+Message representation
+----------------------
+A payload is a numpy array whose *rows* are the message units (1-D arrays are
+treated as single-column rows).  ``sendcounts[i]`` gives, for PE ``i``, the
+number of rows destined to each rank, destination-major: ``sendbufs[i]`` rows
+must be grouped by destination rank in ascending order.  Receivers obtain
+rows grouped by *source* rank in ascending order, preserving per-pair
+ordering -- exactly the ``MPI_Alltoallv`` contract.  All three schemes return
+bit-identical results (a property the test suite checks exhaustively).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .collectives import Comm
+
+#: Average-bytes-per-message threshold below which the auto dispatcher picks
+#: the indirect two-level scheme (Section VI-A: "we use 500 on our system").
+GRID_DISPATCH_THRESHOLD_BYTES = 500.0
+
+
+def _row_nbytes(buf: np.ndarray) -> int:
+    """Bytes per message row of a payload array."""
+    if buf.ndim == 1:
+        return buf.itemsize
+    return buf.itemsize * int(np.prod(buf.shape[1:]))
+
+
+def _empty_like_rows(template: np.ndarray, n: int = 0) -> np.ndarray:
+    """An ``n``-row array with the same row shape/dtype as ``template``."""
+    shape = (n,) + template.shape[1:]
+    return np.empty(shape, dtype=template.dtype)
+
+
+def _validate(sendbufs: Sequence[np.ndarray], sendcounts: Sequence[np.ndarray],
+              size: int) -> np.ndarray:
+    if len(sendbufs) != size or len(sendcounts) != size:
+        raise ValueError(f"need {size} send buffers/count vectors")
+    counts = np.zeros((size, size), dtype=np.int64)
+    for i in range(size):
+        c = np.asarray(sendcounts[i], dtype=np.int64)
+        if c.shape != (size,):
+            raise ValueError(f"sendcounts[{i}] must have length {size}")
+        if c.sum() != len(sendbufs[i]):
+            raise ValueError(
+                f"sendcounts[{i}] sums to {c.sum()} but buffer has "
+                f"{len(sendbufs[i])} rows"
+            )
+        counts[i] = c
+    return counts
+
+
+def _move(sendbufs: Sequence[np.ndarray], counts: np.ndarray
+          ) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Pure data movement for one exchange step (no cost accounting).
+
+    ``counts[i, j]`` rows go from rank ``i`` to rank ``j``.  Returns per-rank
+    receive buffers (rows source-major, per-pair order preserved) and the
+    counts matrix transposed view for receivers.
+    """
+    size = counts.shape[0]
+    template = None
+    for b in sendbufs:
+        if isinstance(b, np.ndarray):
+            template = b
+            break
+    assert template is not None
+    big = np.concatenate([np.atleast_1d(b) for b in sendbufs], axis=0)
+    if len(big) == 0:
+        return [_empty_like_rows(template) for _ in range(size)], counts
+    # Destination rank of every row, source-major order.
+    dst_of_row = np.concatenate(
+        [np.repeat(np.arange(size), counts[i]) for i in range(size)]
+    )
+    order = np.argsort(dst_of_row, kind="stable")
+    routed = big[order]
+    per_dst = counts.sum(axis=0)
+    splits = np.cumsum(per_dst)[:-1]
+    recvbufs = [np.ascontiguousarray(part) for part in np.split(routed, splits)]
+    return recvbufs, counts
+
+
+def _record_trace(comm: Comm, counts: np.ndarray, row_bytes: float) -> None:
+    """Accumulate one exchange into the machine's communication trace."""
+    tr = comm.machine.trace
+    if tr is not None:
+        sub = np.asarray(counts, dtype=np.float64) * row_bytes
+        tr.matrix[np.ix_(comm.ranks, comm.ranks)] += sub
+        tr.n_exchanges += 1
+
+
+def alltoallv_direct(
+    comm: Comm,
+    sendbufs: Sequence[np.ndarray],
+    sendcounts: Sequence[np.ndarray],
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Dense one-level all-to-all (built-in ``MPI_Alltoallv`` model)."""
+    size = comm.size
+    counts = _validate(sendbufs, sendcounts, size)
+    recvbufs, _ = _move(sendbufs, counts)
+    row_bytes = max((_row_nbytes(b) for b in sendbufs if isinstance(b, np.ndarray)),
+                    default=8)
+    bytes_out = counts.sum(axis=1).astype(np.float64) * row_bytes
+    bytes_in = counts.sum(axis=0).astype(np.float64) * row_bytes
+    cost = np.array([
+        comm.machine.cost.alltoall_dense(size, bytes_out[r], bytes_in[r],
+                                         comm.machine.threads)
+        for r in range(size)
+    ])
+    comm.machine.bytes_communicated += float(bytes_out.sum())
+    _record_trace(comm, counts, row_bytes)
+    comm._sync_and_charge(cost)
+    return recvbufs, [counts[:, j].copy() for j in range(size)]
+
+
+def _grid_shape(size: int) -> Tuple[int, int]:
+    """Columns ``c = floor(sqrt(p))`` and rows ``r = ceil(p / c)``."""
+    c = int(math.isqrt(size))
+    r = (size + c - 1) // c
+    return c, r
+
+
+def _grid_intermediate(size: int) -> np.ndarray:
+    """``T[i, j]``: intermediate PE for a message from ``i`` to ``j``.
+
+    Implements the routing rule of Section VI-A including the special case
+    for destinations in an incomplete last grid row.
+    """
+    c, r = _grid_shape(size)
+    i = np.arange(size)[:, None]
+    j = np.arange(size)[None, :]
+    col_i = i % c
+    row_j = j // c
+    col_j = j % c
+    T = row_j * c + col_i
+    if size != c * r:
+        # j in the incomplete last row: reroute via row col(j).
+        incomplete = row_j == r - 1
+        T = np.where(incomplete, col_j * c + col_i, T)
+    return T.astype(np.int64)
+
+
+def alltoallv_grid(
+    comm: Comm,
+    sendbufs: Sequence[np.ndarray],
+    sendcounts: Sequence[np.ndarray],
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Two-level grid all-to-all (Section VI-A).
+
+    Each message travels via one intermediate PE; the two hops are charged as
+    two dense all-to-alls over groups of at most ``sqrt(p) + 2`` PEs, cutting
+    the per-PE startup from ``alpha * p`` to ``O(alpha * sqrt(p))`` while
+    doubling the communicated volume.
+    """
+    size = comm.size
+    if size <= 3:
+        return alltoallv_direct(comm, sendbufs, sendcounts)
+    counts = _validate(sendbufs, sendcounts, size)
+    template = next(b for b in sendbufs if isinstance(b, np.ndarray))
+    row_bytes = _row_nbytes(template)
+    c, r = _grid_shape(size)
+    T = _grid_intermediate(size)
+
+    # ---- Phase 1: route rows to their intermediates (within columns). ----
+    # Each row additionally carries (final_dst, orig_src); these metadata
+    # travel as parallel payloads through the same exchanges.
+    phase1_counts = np.zeros((size, size), dtype=np.int64)
+    p1_bufs: List[np.ndarray] = []
+    p1_dst: List[np.ndarray] = []
+    p1_src: List[np.ndarray] = []
+    for i in range(size):
+        dst_of_row = np.repeat(np.arange(size), counts[i])
+        t_of_row = T[i][dst_of_row] if len(dst_of_row) else dst_of_row
+        order = np.argsort(t_of_row, kind="stable")
+        p1_bufs.append(np.atleast_1d(sendbufs[i])[order])
+        p1_dst.append(dst_of_row[order])
+        p1_src.append(np.full(len(order), i, dtype=np.int64))
+        np.add.at(phase1_counts[i], t_of_row, 1)
+    mid_bufs, _ = _move(p1_bufs, phase1_counts)
+    mid_dst, _ = _move(p1_dst, phase1_counts)
+    mid_src, _ = _move(p1_src, phase1_counts)
+
+    # Phase-1 cost: an all-to-all within each grid column (group size <= r).
+    bytes_out1 = phase1_counts.sum(axis=1).astype(np.float64) * row_bytes
+    bytes_in1 = phase1_counts.sum(axis=0).astype(np.float64) * row_bytes
+    cost1 = np.array([
+        comm.machine.cost.alltoall_dense(r, bytes_out1[k], bytes_in1[k],
+                                         comm.machine.threads)
+        for k in range(size)
+    ])
+    comm.machine.bytes_communicated += float(bytes_out1.sum())
+    _record_trace(comm, phase1_counts, row_bytes)
+    comm._sync_and_charge(cost1)
+
+    # ---- Phase 2: deliver from intermediates to final destinations. ----
+    phase2_counts = np.zeros((size, size), dtype=np.int64)
+    p2_bufs: List[np.ndarray] = []
+    p2_src: List[np.ndarray] = []
+    for t in range(size):
+        d = mid_dst[t]
+        order = np.argsort(d, kind="stable")
+        p2_bufs.append(mid_bufs[t][order])
+        p2_src.append(mid_src[t][order])
+        np.add.at(phase2_counts[t], d, 1)
+    out_bufs, _ = _move(p2_bufs, phase2_counts)
+    out_src, _ = _move(p2_src, phase2_counts)
+
+    group2 = c + (0 if size == c * r else 2)
+    bytes_out2 = phase2_counts.sum(axis=1).astype(np.float64) * row_bytes
+    bytes_in2 = phase2_counts.sum(axis=0).astype(np.float64) * row_bytes
+    cost2 = np.array([
+        comm.machine.cost.alltoall_dense(group2, bytes_out2[k], bytes_in2[k],
+                                         comm.machine.threads)
+        for k in range(size)
+    ])
+    comm.machine.bytes_communicated += float(bytes_out2.sum())
+    _record_trace(comm, phase2_counts, row_bytes)
+    comm._sync_and_charge(cost2)
+
+    # ---- Restore the MPI_Alltoallv contract: rows source-major. ----
+    recvbufs: List[np.ndarray] = []
+    recvcounts: List[np.ndarray] = []
+    for j in range(size):
+        order = np.argsort(out_src[j], kind="stable")
+        recvbufs.append(np.ascontiguousarray(out_bufs[j][order]))
+        rc = np.zeros(size, dtype=np.int64)
+        np.add.at(rc, out_src[j], 1)
+        recvcounts.append(rc)
+    return recvbufs, recvcounts
+
+
+def alltoallv_hypercube(
+    comm: Comm,
+    sendbufs: Sequence[np.ndarray],
+    sendcounts: Sequence[np.ndarray],
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Hypercube all-to-all: ``log p`` pairwise rounds, data moved each round.
+
+    Requires a power-of-two communicator size; other sizes fall back to the
+    two-level grid scheme (the paper's generalisation covers the gap).
+    """
+    size = comm.size
+    if size & (size - 1) != 0:
+        return alltoallv_grid(comm, sendbufs, sendcounts)
+    if size == 1:
+        return alltoallv_direct(comm, sendbufs, sendcounts)
+    counts = _validate(sendbufs, sendcounts, size)
+    template = next(b for b in sendbufs if isinstance(b, np.ndarray))
+    row_bytes = _row_nbytes(template)
+
+    held = [np.atleast_1d(sendbufs[i]) for i in range(size)]
+    held_dst = [np.repeat(np.arange(size), counts[i]) for i in range(size)]
+    held_src = [np.full(len(held[i]), i, dtype=np.int64) for i in range(size)]
+
+    dims = size.bit_length() - 1
+    for k in range(dims):
+        bit = 1 << k
+        new_held: List[np.ndarray] = [None] * size  # type: ignore[list-item]
+        new_dst: List[np.ndarray] = [None] * size  # type: ignore[list-item]
+        new_src: List[np.ndarray] = [None] * size  # type: ignore[list-item]
+        sent_bytes = np.zeros(size)
+        for i in range(size):
+            partner = i ^ bit
+            if i > partner:
+                continue
+            stay_i = (held_dst[i] & bit) == (i & bit)
+            stay_p = (held_dst[partner] & bit) == (partner & bit)
+            go_i = held[i][~stay_i]
+            go_p = held[partner][~stay_p]
+            new_held[i] = np.concatenate([held[i][stay_i], go_p], axis=0)
+            new_dst[i] = np.concatenate([held_dst[i][stay_i],
+                                         held_dst[partner][~stay_p]])
+            new_src[i] = np.concatenate([held_src[i][stay_i],
+                                         held_src[partner][~stay_p]])
+            new_held[partner] = np.concatenate([held[partner][stay_p], go_i],
+                                               axis=0)
+            new_dst[partner] = np.concatenate([held_dst[partner][stay_p],
+                                               held_dst[i][~stay_i]])
+            new_src[partner] = np.concatenate([held_src[partner][stay_p],
+                                               held_src[i][~stay_i]])
+            sent_bytes[i] = len(go_i) * row_bytes
+            sent_bytes[partner] = len(go_p) * row_bytes
+        cm = comm.machine.cost
+        recv_bytes = sent_bytes[np.arange(size) ^ bit]
+        cost = (cm.c_call + cm.alpha
+                + (cm.beta + cm.beta_sw) * (sent_bytes + recv_bytes))
+        comm.machine.bytes_communicated += float(sent_bytes.sum())
+        if comm.machine.trace is not None:
+            hop = np.zeros((size, size))
+            hop[np.arange(size), np.arange(size) ^ bit] = sent_bytes
+            _record_trace(comm, hop, 1.0)
+        comm._sync_and_charge(cost)
+        held, held_dst, held_src = new_held, new_dst, new_src
+
+    recvbufs: List[np.ndarray] = []
+    recvcounts: List[np.ndarray] = []
+    for j in range(size):
+        assert len(held_dst[j]) == 0 or (held_dst[j] == j).all()
+        order = np.argsort(held_src[j], kind="stable")
+        recvbufs.append(np.ascontiguousarray(held[j][order]))
+        rc = np.zeros(size, dtype=np.int64)
+        np.add.at(rc, held_src[j], 1)
+        recvcounts.append(rc)
+    return recvbufs, recvcounts
+
+
+def alltoallv_auto(
+    comm: Comm,
+    sendbufs: Sequence[np.ndarray],
+    sendcounts: Sequence[np.ndarray],
+    threshold_bytes: float = GRID_DISPATCH_THRESHOLD_BYTES,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Dispatch between direct and grid scheme by average message size.
+
+    Section VI-A: the indirect grid variant is used when the average number
+    of bytes sent per message is below ``threshold_bytes``.
+    """
+    size = comm.size
+    if size <= 3:
+        return alltoallv_direct(comm, sendbufs, sendcounts)
+    template = next((b for b in sendbufs if isinstance(b, np.ndarray)), None)
+    if template is None:
+        raise ValueError("at least one send buffer must be a numpy array")
+    total_rows = sum(len(np.atleast_1d(b)) for b in sendbufs)
+    avg_bytes = total_rows * _row_nbytes(template) / float(size * size)
+    if avg_bytes < threshold_bytes:
+        return alltoallv_grid(comm, sendbufs, sendcounts)
+    return alltoallv_direct(comm, sendbufs, sendcounts)
+
+
+def _alltoallv_grid3(comm, sendbufs, sendcounts):
+    """Three-level indirect delivery (the d = 3 point of Section VI-A's
+    generalisation; see :mod:`repro.simmpi.multilevel`)."""
+    from .multilevel import alltoallv_multilevel
+
+    return alltoallv_multilevel(comm, sendbufs, sendcounts, d=3)
+
+
+#: Name -> implementation map for experiment configuration.
+ALLTOALL_METHODS = {
+    "direct": alltoallv_direct,
+    "grid": alltoallv_grid,
+    "grid3": _alltoallv_grid3,
+    "hypercube": alltoallv_hypercube,
+    "auto": alltoallv_auto,
+}
+
+
+# ----------------------------------------------------------------------
+# Higher-level conveniences used by the MST algorithms.
+# ----------------------------------------------------------------------
+def route_rows(
+    comm: Comm,
+    rows_per_pe: Sequence[np.ndarray],
+    dest_per_row: Sequence[np.ndarray],
+    method: str = "auto",
+) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
+    """Deliver arbitrary per-PE rows to per-row destination ranks.
+
+    This is the workhorse wrapper the algorithms use: it sorts each PE's rows
+    by destination (stable), performs the exchange, and returns
+
+    ``recv_rows``
+        per-PE received rows (source-major, per-pair order preserved),
+    ``recv_src``
+        per-PE source rank of every received row, and
+    ``send_order``
+        the permutation applied to each sender's rows.  Because replies to a
+        request arrive back in exactly the order requests were sent (both
+        directions are source/destination-major with per-pair order
+        preserved), ``reply[invert_permutation(send_order)]`` restores the
+        original query order -- see :func:`unsort`.
+    """
+    size = comm.size
+    fn = ALLTOALL_METHODS[method]
+    sendbufs: List[np.ndarray] = []
+    sendcounts: List[np.ndarray] = []
+    orders: List[np.ndarray] = []
+    for i in range(size):
+        dest = np.asarray(dest_per_row[i], dtype=np.int64)
+        rows = np.atleast_1d(rows_per_pe[i])
+        if len(dest) != len(rows):
+            raise ValueError(
+                f"PE {i}: {len(rows)} rows but {len(dest)} destinations"
+            )
+        order = np.argsort(dest, kind="stable")
+        counts = np.zeros(size, dtype=np.int64)
+        if len(dest):
+            np.add.at(counts, dest, 1)
+        sendbufs.append(rows[order])
+        sendcounts.append(counts)
+        orders.append(order)
+    recvbufs, recvcounts = fn(comm, sendbufs, sendcounts)
+    recv_src = [np.repeat(np.arange(size), rc) for rc in recvcounts]
+    return recvbufs, recv_src, orders
+
+
+def unsort(order: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Undo the send permutation from :func:`route_rows` on reply rows."""
+    out = np.empty_like(values)
+    out[order] = values
+    return out

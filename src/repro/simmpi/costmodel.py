@@ -1,0 +1,153 @@
+"""Analytic cost model for the simulated distributed-memory machine.
+
+The paper (Section II-A) assumes single-ported point-to-point communication
+where sending a message of length ``l`` bytes costs ``alpha + beta * l``
+seconds: ``alpha`` is the message-startup latency and ``beta`` the per-byte
+transfer time.  All collective-operation costs used by the simulator are
+derived from these two parameters plus a small set of calibrated per-element
+charges for local computation.
+
+Only *simulated* time is ever reported by this package; the wall-clock time of
+running the simulator itself is meaningless (the whole point of the
+substitution documented in DESIGN.md is that we cannot run the paper's C++/MPI
+code on 2^16 real cores from Python).
+
+Calibration
+-----------
+The default constants approximate a 2018-era HPC node on an OmniPath-class
+interconnect (SuperMUC-NG, the paper's machine):
+
+* ``alpha = 2e-6`` s      -- MPI point-to-point startup latency (~2 us).
+* ``beta = 4e-9`` s/B     -- ~0.25 GB/s effective per-PE bandwidth share: a
+  48-core node shares one 100 Gbit/s OmniPath port, and all-to-all traffic
+  under contention reaches nowhere near line rate.
+* ``c_scan = 1e-9`` s     -- one pass over one 8-byte element (~1 GHz
+  effective scan rate per core, memory bound).
+* ``c_sort = 8e-9`` s     -- per element *per log2-level* of a comparison
+  sort (local ``np.sort`` style).
+* ``c_hash = 6e-9`` s     -- one hash-table insert/lookup.
+
+The *shape* of every reproduced figure is insensitive to moderate changes of
+these constants; EXPERIMENTS.md reports a sensitivity check.
+
+Thread model
+------------
+The paper's implementation is hybrid MPI+OpenMP with *funneled* MPI (one
+communication thread per process).  We model ``threads`` hardware threads per
+MPI process:
+
+* local computation marked *parallel* is sped up by
+  ``effective_threads = 1 + (threads - 1) * thread_efficiency``;
+* the ``beta`` term and the per-message software overhead are **not** sped up
+  (single-threaded MPI progress engine) -- this asymmetry is what produces
+  the paper's observed 1-thread-vs-8-thread tradeoff (Section VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Bytes occupied by one logical edge element in communication buffers.
+#: Edges travel as (src, dst, weight, id) int64 quadruples = 32 bytes; most
+#: messages in the algorithms are smaller records, so callers pass explicit
+#: byte counts computed from the actual numpy dtypes.
+BYTES_PER_INT64 = 8
+
+
+@dataclass
+class CostModel:
+    """Collection of machine constants used to charge simulated time.
+
+    Parameters mirror Section II-A of the paper; see the module docstring for
+    the calibration rationale.  All times are in seconds.
+    """
+
+    #: Message startup latency (the paper's alpha).
+    alpha: float = 2e-6
+    #: Per-byte transfer time (the paper's beta).
+    beta: float = 4e-9
+    #: Per-byte single-threaded MPI software overhead (packing/copying inside
+    #: MPI_Alltoallv; responsible for the funneled-MPI bottleneck).
+    beta_sw: float = 1e-9
+    #: Per-element charge for a linear scan / elementwise pass.
+    c_scan: float = 1e-9
+    #: Per-element-per-log2-level charge for local comparison sorting.
+    c_sort: float = 8e-9
+    #: Per-operation charge for a hash-table insert or lookup.
+    c_hash: float = 6e-9
+    #: Fixed software overhead per collective-operation call per PE.
+    c_call: float = 5e-7
+    #: Fraction of ideal speedup attained per extra OpenMP thread.
+    thread_efficiency: float = 0.85
+
+    def effective_threads(self, threads: int) -> float:
+        """Speedup factor for thread-parallel local work with ``threads`` threads."""
+        if threads <= 1:
+            return 1.0
+        return 1.0 + (threads - 1) * self.thread_efficiency
+
+    # ------------------------------------------------------------------
+    # Point-to-point / collective building blocks (per-PE costs).
+    # ------------------------------------------------------------------
+    def p2p(self, nbytes: float) -> float:
+        """Cost of one point-to-point message of ``nbytes`` bytes."""
+        return self.alpha + self.beta * nbytes
+
+    def collective_tree(self, group_size: int, nbytes: float) -> float:
+        """Cost of a tree/butterfly collective (bcast, (all)reduce, prefix sum).
+
+        ``O(alpha * log p + beta * l)`` per Section II-A, where ``nbytes`` is
+        the per-PE vector length in bytes (pipelined-binary-tree bound).
+        """
+        if group_size <= 1:
+            return self.c_call
+        log_p = max(1, (group_size - 1).bit_length())
+        return self.c_call + self.alpha * log_p + self.beta * nbytes
+
+    def allgather(self, group_size: int, total_nbytes: float) -> float:
+        """Cost of an allgather where ``total_nbytes`` sums all contributions."""
+        if group_size <= 1:
+            return self.c_call
+        log_p = max(1, (group_size - 1).bit_length())
+        return self.c_call + self.alpha * log_p + self.beta * total_nbytes
+
+    def alltoall_dense(
+        self, group_size: int, bytes_out: float, bytes_in: float, threads: int = 1
+    ) -> float:
+        """Per-PE cost of one dense ``MPI_Alltoallv`` over ``group_size`` PEs.
+
+        The built-in routine posts an exchange with every group member, so the
+        startup term is ``alpha * group_size`` regardless of how many
+        messages are actually non-empty -- this is precisely the overhead the
+        paper's two-level scheme removes (Section VI-A, Fig. 2).  The
+        software (packing) term is charged single-threaded per the funneled
+        MPI model.
+        """
+        volume = bytes_out + bytes_in
+        return (
+            self.c_call
+            + self.alpha * group_size
+            + self.beta * volume
+            + self.beta_sw * volume
+        )
+
+    # ------------------------------------------------------------------
+    # Local computation charges.
+    # ------------------------------------------------------------------
+    def scan(self, elements: float, threads: int = 1) -> float:
+        """Thread-parallel linear pass over ``elements`` items."""
+        return self.c_scan * elements / self.effective_threads(threads)
+
+    def sort(self, elements: float, threads: int = 1) -> float:
+        """Thread-parallel local comparison sort of ``elements`` items."""
+        if elements <= 1:
+            return 0.0
+        import math
+
+        levels = max(1.0, math.log2(elements))
+        return self.c_sort * elements * levels / self.effective_threads(threads)
+
+    def hash_ops(self, operations: float, threads: int = 1) -> float:
+        """Thread-parallel hash-table operations (Section VI-B dedup)."""
+        return self.c_hash * operations / self.effective_threads(threads)

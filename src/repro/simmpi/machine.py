@@ -1,0 +1,251 @@
+"""The simulated distributed-memory machine.
+
+A :class:`Machine` models ``n_procs`` MPI processes, each with ``threads``
+OpenMP threads (so ``cores = n_procs * threads``).  The *unit of distribution*
+is the MPI process -- exactly as in the paper, where the graph is
+1D-partitioned over MPI processes and threads only accelerate local work.
+
+Simulation semantics
+--------------------
+* Each process ("PE" throughout, matching the paper's terminology) owns local
+  numpy state managed by the algorithms, never touched directly by other PEs.
+* Every data movement between PEs goes through :mod:`repro.simmpi.collectives`
+  or :mod:`repro.simmpi.alltoall`, which really move the data between per-PE
+  buffers *and* charge simulated time to per-PE clocks using the
+  :class:`~repro.simmpi.costmodel.CostModel`.
+* Local computation is charged explicitly via :meth:`Machine.charge`.
+
+The machine also provides:
+
+* **Phase timers** (:meth:`phase`) that attribute elapsed simulated time to
+  named algorithm phases -- the data behind the paper's Fig. 6 breakdown.
+* **Memory accounting** (:meth:`check_memory`): when a per-PE memory limit is
+  configured, exceeding it raises :class:`SimulatedOutOfMemory`.  The paper's
+  competitors crash / cannot process some configurations for exactly this
+  reason (Section VII), and the benchmark harness reproduces that behaviour.
+* **Per-PE deterministic RNGs** (:meth:`pe_rng`) so simulated runs are exactly
+  reproducible.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from .costmodel import CostModel
+
+
+class SimulatedOutOfMemory(RuntimeError):
+    """Raised when a PE would exceed its configured memory limit.
+
+    Mirrors the crashes / out-of-memory failures the paper reports for the
+    competitor codes on large configurations (Section VII-A/B).
+    """
+
+    def __init__(self, pe: int, requested_bytes: float, limit_bytes: float):
+        self.pe = pe
+        self.requested_bytes = requested_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"PE {pe} requested {requested_bytes / 1e6:.1f} MB "
+            f"(limit {limit_bytes / 1e6:.1f} MB)"
+        )
+
+
+class Machine:
+    """A simulated distributed-memory machine with per-PE clocks.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of MPI processes (PEs).  Local graph data is partitioned over
+        these.
+    threads:
+        OpenMP threads per process.  ``cores = n_procs * threads``.  Threads
+        accelerate local computation per the cost model's thread model but do
+        not change the distribution.
+    cost:
+        Machine constants; defaults to :class:`CostModel`'s calibration.
+    memory_limit_bytes:
+        Optional per-PE memory budget.  ``None`` disables accounting.
+    seed:
+        Base seed for the per-PE RNG streams.
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        threads: int = 1,
+        cost: Optional[CostModel] = None,
+        memory_limit_bytes: Optional[float] = None,
+        seed: int = 0,
+        trace: bool = False,
+    ):
+        if n_procs < 1:
+            raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.n_procs = int(n_procs)
+        self.threads = int(threads)
+        self.cost = cost if cost is not None else CostModel()
+        self.memory_limit_bytes = memory_limit_bytes
+        self.seed = int(seed)
+        #: Per-PE simulated clocks in seconds.
+        self.clock = np.zeros(self.n_procs, dtype=np.float64)
+        #: Accumulated simulated seconds per named phase (max over PEs of the
+        #: per-PE deltas accumulated while the phase was active).
+        self.phase_times: Dict[str, float] = {}
+        #: Per-PE accumulated phase times (phase -> array of length n_procs).
+        self.phase_times_per_pe: Dict[str, np.ndarray] = {}
+        self._phase_stack: list[tuple[str, np.ndarray]] = []
+        #: Total bytes moved between PEs (diagnostic).
+        self.bytes_communicated = 0.0
+        #: Total number of collective operations issued (diagnostic).
+        self.n_collectives = 0
+        self._rngs: Dict[int, np.random.Generator] = {}
+        #: Optional per-pair communication trace (see repro.simmpi.trace).
+        if trace:
+            from .trace import CommTrace
+
+            self.trace: Optional["CommTrace"] = CommTrace(self.n_procs)
+        else:
+            self.trace = None
+
+    def record_comm(self, counts_matrix: np.ndarray, row_bytes: float) -> None:
+        """Record one exchange's per-pair volume when tracing is enabled."""
+        if self.trace is not None:
+            self.trace.record(np.asarray(counts_matrix, dtype=np.float64)
+                              * row_bytes)
+
+    # ------------------------------------------------------------------
+    # Basic properties.
+    # ------------------------------------------------------------------
+    @property
+    def cores(self) -> int:
+        """Total hardware cores modelled (processes x threads)."""
+        return self.n_procs * self.threads
+
+    def elapsed(self) -> float:
+        """Simulated makespan so far: the maximum over all PE clocks."""
+        return float(self.clock.max())
+
+    def reset(self) -> None:
+        """Zero all clocks, phase timers and diagnostics."""
+        self.clock[:] = 0.0
+        self.phase_times.clear()
+        self.phase_times_per_pe.clear()
+        self._phase_stack.clear()
+        self.bytes_communicated = 0.0
+        self.n_collectives = 0
+
+    def pe_rng(self, pe: int) -> np.random.Generator:
+        """Deterministic per-PE random generator (stable across calls)."""
+        if pe not in self._rngs:
+            self._rngs[pe] = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(pe,))
+            )
+        return self._rngs[pe]
+
+    # ------------------------------------------------------------------
+    # Time accounting.
+    # ------------------------------------------------------------------
+    def charge(self, seconds, ranks: Optional[np.ndarray] = None) -> None:
+        """Advance clocks by ``seconds`` (scalar or per-rank array).
+
+        ``ranks`` restricts the charge to a PE subset (used by sub-group
+        collectives); by default all PEs are charged.
+        """
+        if ranks is None:
+            self.clock += seconds
+        else:
+            self.clock[ranks] += seconds
+
+    def charge_scan(self, elements, ranks: Optional[np.ndarray] = None) -> None:
+        """Charge a thread-parallel linear pass of ``elements`` per PE."""
+        elements = np.asarray(elements, dtype=np.float64)
+        self.charge(self.cost.c_scan * elements
+                    / self.cost.effective_threads(self.threads), ranks)
+
+    def charge_sort(self, elements, ranks: Optional[np.ndarray] = None) -> None:
+        """Charge a thread-parallel local sort of ``elements`` per PE."""
+        elements = np.asarray(elements, dtype=np.float64)
+        levels = np.log2(np.maximum(elements, 2.0))
+        self.charge(self.cost.c_sort * elements * levels
+                    / self.cost.effective_threads(self.threads), ranks)
+
+    def charge_hash(self, operations, ranks: Optional[np.ndarray] = None) -> None:
+        """Charge thread-parallel hash-table operations per PE."""
+        operations = np.asarray(operations, dtype=np.float64)
+        self.charge(self.cost.c_hash * operations
+                    / self.cost.effective_threads(self.threads), ranks)
+
+    def barrier(self, ranks: Optional[np.ndarray] = None) -> None:
+        """Synchronise clocks of ``ranks`` (default: all) to their maximum."""
+        if ranks is None:
+            self.clock[:] = self.clock.max() + self.cost.collective_tree(
+                self.n_procs, 0
+            )
+        else:
+            size = len(ranks)
+            self.clock[ranks] = self.clock[ranks].max() + self.cost.collective_tree(
+                size, 0
+            )
+
+    # ------------------------------------------------------------------
+    # Phase timers (Fig. 6 data).
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute simulated time spent inside the block to phase ``name``.
+
+        Nested phases attribute time to the innermost phase only, mirroring
+        the exclusive phase accounting of the paper's Fig. 6.
+        """
+        # Freeze outer phase: record its partial delta before switching.
+        if self._phase_stack:
+            outer_name, outer_start = self._phase_stack[-1]
+            self._accumulate(outer_name, self.clock - outer_start)
+        self._phase_stack.append((name, self.clock.copy()))
+        try:
+            yield
+        finally:
+            _, start = self._phase_stack.pop()
+            self._accumulate(name, self.clock - start)
+            if self._phase_stack:
+                # Restart outer phase's window from now.
+                outer_name, _ = self._phase_stack[-1]
+                self._phase_stack[-1] = (outer_name, self.clock.copy())
+
+    def _accumulate(self, name: str, delta: np.ndarray) -> None:
+        per_pe = self.phase_times_per_pe.setdefault(
+            name, np.zeros(self.n_procs, dtype=np.float64)
+        )
+        per_pe += delta
+        self.phase_times[name] = float(per_pe.max())
+
+    # ------------------------------------------------------------------
+    # Memory accounting.
+    # ------------------------------------------------------------------
+    def check_memory(self, per_pe_bytes) -> None:
+        """Raise :class:`SimulatedOutOfMemory` if any PE exceeds the limit.
+
+        ``per_pe_bytes`` is a scalar or an array of length ``n_procs`` giving
+        the current (or about-to-be-allocated) resident bytes per PE.
+        """
+        if self.memory_limit_bytes is None:
+            return
+        per_pe_bytes = np.atleast_1d(np.asarray(per_pe_bytes, dtype=np.float64))
+        worst = int(np.argmax(per_pe_bytes))
+        if per_pe_bytes[worst] > self.memory_limit_bytes:
+            raise SimulatedOutOfMemory(
+                worst, float(per_pe_bytes[worst]), float(self.memory_limit_bytes)
+            )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(n_procs={self.n_procs}, threads={self.threads}, "
+            f"cores={self.cores}, elapsed={self.elapsed():.6f}s)"
+        )

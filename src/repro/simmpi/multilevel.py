@@ -1,0 +1,151 @@
+"""d-dimensional generalisation of the indirect all-to-all (Section VI-A).
+
+"For larger p, the grid approach can easily be generalized to dimensions
+2 < d <= log(p).  For d = log(p), we basically get the hypercube all-to-all
+algorithm from [44]."
+
+PEs are arranged in a virtual d-dimensional grid with side lengths
+``s_0 >= s_1 >= ... >= s_{d-1}`` (as balanced as possible, product >= p).
+A message from ``i`` to ``j`` is routed in ``d`` hops: hop ``k`` fixes the
+``k``-th coordinate to the destination's, moving within a *fiber* of the
+grid (all PEs agreeing on every other coordinate).  Each hop is one dense
+all-to-all over a group of ``s_k`` PEs, so the startup term drops from
+``alpha * p`` to ``alpha * sum_k s_k ~ alpha * d * p^(1/d)`` while the
+volume is multiplied by ``d``.
+
+PEs beyond the grid (when ``prod(s) > p``) are *virtual*: routing snaps any
+intermediate coordinate vector that does not correspond to a real PE to the
+nearest real PE in its fiber (the same idea as the paper's incomplete-row
+handling for d = 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .collectives import Comm
+from .alltoall import _move, _row_nbytes, _validate
+
+
+def grid_sides(p: int, d: int) -> List[int]:
+    """Balanced side lengths for a d-dimensional grid covering ``p`` PEs."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    sides = []
+    remaining = p
+    for k in range(d, 0, -1):
+        s = int(np.ceil(remaining ** (1.0 / k)))
+        s = max(s, 1)
+        sides.append(s)
+        remaining = int(np.ceil(remaining / s))
+    sides.sort(reverse=True)
+    return sides
+
+
+def _coords(ranks: np.ndarray, sides: Sequence[int]) -> np.ndarray:
+    """Mixed-radix digits of each rank (least-significant dimension last)."""
+    out = np.empty((len(ranks), len(sides)), dtype=np.int64)
+    rest = ranks.copy()
+    for k in range(len(sides) - 1, -1, -1):
+        out[:, k] = rest % sides[k]
+        rest //= sides[k]
+    return out
+
+
+def _rank_of(coords: np.ndarray, sides: Sequence[int]) -> np.ndarray:
+    rank = np.zeros(len(coords), dtype=np.int64)
+    for k in range(len(sides)):
+        rank = rank * sides[k] + coords[:, k]
+    return rank
+
+
+def alltoallv_multilevel(
+    comm: Comm,
+    sendbufs: Sequence[np.ndarray],
+    sendcounts: Sequence[np.ndarray],
+    d: int = 3,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Indirect all-to-all over a d-dimensional PE grid.
+
+    Semantics identical to the other variants (receive buffers source-major,
+    per-pair order preserved); ``d`` hops of dense all-to-alls over groups
+    of ``~p^(1/d)`` PEs each.
+    """
+    size = comm.size
+    if size <= 3 or d <= 1:
+        from .alltoall import alltoallv_direct
+
+        return alltoallv_direct(comm, sendbufs, sendcounts)
+    counts = _validate(sendbufs, sendcounts, size)
+    template = next(b for b in sendbufs if isinstance(b, np.ndarray))
+    row_bytes = _row_nbytes(template)
+    sides = grid_sides(size, d)
+    d = len(sides)
+
+    # Per-PE state: rows held, their final destination, their original source.
+    held = [np.atleast_1d(sendbufs[i]) for i in range(size)]
+    held_dst = [np.repeat(np.arange(size), counts[i]) for i in range(size)]
+    held_src = [np.full(len(held[i]), i, dtype=np.int64)
+                for i in range(size)]
+
+    my_coords = _coords(np.arange(size), sides)
+
+    for k in range(d):
+        # Hop k: every row moves to the PE whose coordinates agree with the
+        # destination on dims 0..k and with the current holder on dims k+1..
+        hop_counts = np.zeros((size, size), dtype=np.int64)
+        bufs, dsts, srcs = [], [], []
+        for i in range(size):
+            rows = held[i]
+            if len(rows) == 0:
+                bufs.append(rows)
+                dsts.append(held_dst[i])
+                srcs.append(held_src[i])
+                continue
+            dst_coords = _coords(held_dst[i], sides)
+            target_coords = np.tile(my_coords[i], (len(rows), 1))
+            target_coords[:, :k + 1] = dst_coords[:, :k + 1]
+            target = _rank_of(target_coords, sides)
+            # Snap virtual targets (rank >= p) onto the destination itself:
+            # the destination is always real and lies in the same remaining
+            # fiber, so the residual hops still converge.
+            target = np.where(target >= size, held_dst[i], target)
+            order = np.argsort(target, kind="stable")
+            bufs.append(rows[order])
+            dsts.append(held_dst[i][order])
+            srcs.append(held_src[i][order])
+            np.add.at(hop_counts[i], target[order], 1)
+        new_held, _ = _move(bufs, hop_counts)
+        new_dst, _ = _move(dsts, hop_counts)
+        new_src, _ = _move(srcs, hop_counts)
+        held, held_dst, held_src = new_held, new_dst, new_src
+
+        group = sides[k]
+        bytes_out = hop_counts.sum(axis=1).astype(np.float64) * row_bytes
+        bytes_in = hop_counts.sum(axis=0).astype(np.float64) * row_bytes
+        cost = np.array([
+            comm.machine.cost.alltoall_dense(group, bytes_out[r],
+                                             bytes_in[r],
+                                             comm.machine.threads)
+            for r in range(size)
+        ])
+        comm.machine.bytes_communicated += float(bytes_out.sum())
+        from .alltoall import _record_trace
+
+        _record_trace(comm, hop_counts, row_bytes)
+        comm._sync_and_charge(cost)
+
+    recvbufs: List[np.ndarray] = []
+    recvcounts: List[np.ndarray] = []
+    for j in range(size):
+        if len(held_dst[j]) and not (held_dst[j] == j).all():
+            raise RuntimeError("multilevel routing failed to converge")
+        order = np.argsort(held_src[j], kind="stable")
+        recvbufs.append(np.ascontiguousarray(held[j][order]))
+        rc = np.zeros(size, dtype=np.int64)
+        if len(held_src[j]):
+            np.add.at(rc, held_src[j], 1)
+        recvcounts.append(rc)
+    return recvbufs, recvcounts

@@ -1,0 +1,92 @@
+"""Phase-time reporting helpers (the data behind the paper's Fig. 6).
+
+:class:`~repro.simmpi.machine.Machine` accumulates simulated time per named
+phase while algorithms run inside ``machine.phase(...)`` blocks.  This module
+turns those raw accumulators into the normalised breakdowns the paper plots:
+Fig. 6 shows, for each graph x core-count configuration, per-phase times
+normalised to ``[0, 1]`` by the slowest algorithm variant of that
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+#: Canonical phase names used across the algorithms, in the order the paper's
+#: Fig. 6 legend lists the corresponding steps.
+PHASES = (
+    "local_preprocessing",
+    "min_edges",
+    "contraction",
+    "label_exchange",
+    "relabel",
+    "redistribute",
+    "base_case",
+    "pivot_partition",
+    "filter",
+    "mst_output",
+)
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase simulated seconds for one algorithm run."""
+
+    algorithm: str
+    times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.times.values())
+
+    def filled(self) -> Dict[str, float]:
+        """Times for every canonical phase (0.0 where a phase did not run)."""
+        return {ph: self.times.get(ph, 0.0) for ph in PHASES}
+
+
+def collect_breakdown(machine, algorithm: str) -> PhaseBreakdown:
+    """Snapshot the machine's phase accumulators into a :class:`PhaseBreakdown`."""
+    return PhaseBreakdown(algorithm=algorithm, times=dict(machine.phase_times))
+
+
+def normalise(breakdowns: Sequence[PhaseBreakdown]) -> List[PhaseBreakdown]:
+    """Normalise a configuration's breakdowns to [0, 1] by the slowest variant.
+
+    This reproduces the presentation of the paper's Fig. 6: within one
+    graph x core-count configuration, every phase time is divided by the
+    *total* running time of the slowest algorithm variant, so bars are
+    directly comparable across variants.
+    """
+    slowest = max((b.total for b in breakdowns), default=0.0)
+    if slowest <= 0.0:
+        return [PhaseBreakdown(b.algorithm, dict(b.times)) for b in breakdowns]
+    return [
+        PhaseBreakdown(
+            b.algorithm, {k: v / slowest for k, v in b.times.items()}
+        )
+        for b in breakdowns
+    ]
+
+
+def format_table(breakdowns: Mapping[str, PhaseBreakdown] | Sequence[PhaseBreakdown],
+                 digits: int = 3) -> str:
+    """ASCII table of phase times, one column per algorithm variant."""
+    if isinstance(breakdowns, Mapping):
+        items = list(breakdowns.values())
+    else:
+        items = list(breakdowns)
+    phases = [ph for ph in PHASES if any(b.times.get(ph, 0.0) > 0 for b in items)]
+    header = ["phase"] + [b.algorithm for b in items]
+    rows = [header]
+    for ph in phases:
+        rows.append([ph] + [f"{b.times.get(ph, 0.0):.{digits}f}" for b in items])
+    rows.append(["total"] + [f"{b.total:.{digits}f}" for b in items])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    for idx, r in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(r)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

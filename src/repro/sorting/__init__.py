@@ -1,0 +1,18 @@
+"""Distributed sorting algorithms (Sections II-A, VI-C)."""
+
+from .api import HYPERCUBE_THRESHOLD, sort_rows
+from .common import is_globally_sorted, is_locally_sorted, local_lexsort, rebalance_blocks
+from .hypercube import sort_hypercube
+from .samplesort import OVERSAMPLING, sort_samplesort
+
+__all__ = [
+    "HYPERCUBE_THRESHOLD",
+    "sort_rows",
+    "is_globally_sorted",
+    "is_locally_sorted",
+    "local_lexsort",
+    "rebalance_blocks",
+    "sort_hypercube",
+    "sort_samplesort",
+    "OVERSAMPLING",
+]

@@ -1,0 +1,93 @@
+"""Shared helpers for the distributed sorters.
+
+Rows are ``(k, c)`` int64 matrices sorted by the lexicographic order of their
+first ``n_key_cols`` columns (remaining columns are payload that travels with
+the row).  Edges sort as ``[u, v, w, id]`` with three key columns -- the
+paper's lexicographic edge order with the id carried along.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def as_row_matrix(x: np.ndarray) -> np.ndarray:
+    """Coerce to a 2-D int64 row matrix (1-D input becomes one column)."""
+    x = np.asarray(x, dtype=np.int64)
+    if x.ndim == 1:
+        return x.reshape(-1, 1)
+    if x.ndim != 2:
+        raise ValueError(f"rows must be 1-D or 2-D, got ndim={x.ndim}")
+    return x
+
+
+def local_lexsort(rows: np.ndarray, n_key_cols: int) -> np.ndarray:
+    """Rows sorted by the lexicographic order of the first ``n_key_cols``."""
+    if len(rows) <= 1:
+        return rows
+    keys = tuple(rows[:, c] for c in reversed(range(n_key_cols)))
+    return rows[np.lexsort(keys)]
+
+
+def is_locally_sorted(rows: np.ndarray, n_key_cols: int) -> bool:
+    """Whether one part is sorted by its first ``n_key_cols`` columns."""
+    if len(rows) <= 1:
+        return True
+    for c in range(n_key_cols):
+        d = np.diff(rows[:, c])
+        if c == 0:
+            tie = d == 0
+            if (d < 0).any():
+                return False
+        else:
+            if (d[tie] < 0).any():
+                return False
+            tie = tie & (d == 0)
+    return True
+
+
+def is_globally_sorted(parts: Sequence[np.ndarray], n_key_cols: int) -> bool:
+    """Concatenation of per-PE parts is lexicographically sorted."""
+    prev_last = None
+    for part in parts:
+        if not is_locally_sorted(part, n_key_cols):
+            return False
+        if len(part) == 0:
+            continue
+        first = tuple(int(x) for x in part[0, :n_key_cols])
+        if prev_last is not None and first < prev_last:
+            return False
+        prev_last = tuple(int(x) for x in part[-1, :n_key_cols])
+    return True
+
+
+def rebalance_blocks(comm, parts: Sequence[np.ndarray],
+                     method: str = "auto") -> List[np.ndarray]:
+    """Redistribute globally sorted parts into exact block partition.
+
+    Keeps the global order; afterwards PE ``i`` holds rows
+    ``[bounds[i], bounds[i+1])`` of the global sequence (numpy
+    ``array_split`` convention).  One exscan for the global offsets plus one
+    all-to-all.
+    """
+    from ..simmpi.alltoall import route_rows
+    from ..utils.partition import owner_of
+
+    p = comm.size
+    sizes = [len(part) for part in parts]
+    offsets = comm.exscan(sizes)
+    total = int(np.sum(sizes))
+    if total == 0:
+        return [part.copy() for part in parts]
+    dests = []
+    for i in range(p):
+        if sizes[i] == 0:
+            dests.append(np.empty(0, dtype=np.int64))
+            continue
+        global_idx = offsets[i] + np.arange(sizes[i], dtype=np.int64)
+        dests.append(owner_of(global_idx, total, p))
+    recv, _, _ = route_rows(comm, parts, dests, method=method)
+    # Rows arrive source-major = global order (sources are ordered runs).
+    return recv

@@ -1,0 +1,14 @@
+"""Shared utilities: varint compression, block partitioning."""
+
+from .partition import block_bounds, block_size, owner_of, split_evenly
+from .varint import CompressedEdgeList, decode_varints, encode_varints
+
+__all__ = [
+    "block_bounds",
+    "block_size",
+    "owner_of",
+    "split_evenly",
+    "CompressedEdgeList",
+    "decode_varints",
+    "encode_varints",
+]

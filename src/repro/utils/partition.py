@@ -1,0 +1,57 @@
+"""1D block-partitioning helpers.
+
+The paper partitions both the edge sequence (Section II-B) and the
+component-representative array ``P`` of Filter-Boruvka (Section V) into
+contiguous blocks of near-equal size over the ``p`` PEs.  These helpers
+centralise the arithmetic so every module splits ranges identically.
+
+The convention is numpy's ``array_split``: the first ``n % p`` blocks get
+``ceil(n / p)`` elements, the rest ``floor(n / p)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def block_bounds(n: int, p: int) -> np.ndarray:
+    """Boundaries ``b`` of the block partition: block i is ``[b[i], b[i+1])``."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    base, extra = divmod(n, p)
+    sizes = np.full(p, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def block_size(n: int, p: int, i: int) -> int:
+    """Number of elements in block ``i``."""
+    base, extra = divmod(n, p)
+    return base + (1 if i < extra else 0)
+
+
+def owner_of(indices: np.ndarray, n: int, p: int) -> np.ndarray:
+    """Block id owning each global index, for the block partition of ``n``.
+
+    Vectorised inverse of :func:`block_bounds`; used e.g. to locate the home
+    PE of an entry of the distributed array ``P`` in Filter-Boruvka.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    base, extra = divmod(n, p)
+    if base == 0:
+        # Fewer elements than PEs: blocks 0..extra-1 hold one element each.
+        return idx.copy()
+    split = extra * (base + 1)
+    small = idx < split
+    out = np.empty(idx.shape, dtype=np.int64)
+    out[small] = idx[small] // (base + 1)
+    out[~small] = extra + (idx[~small] - split) // base
+    return out
+
+
+def split_evenly(array: np.ndarray, p: int) -> list[np.ndarray]:
+    """Split ``array`` into the ``p`` blocks of the block partition."""
+    bounds = block_bounds(len(array), p)
+    return [array[bounds[i]:bounds[i + 1]] for i in range(p)]

@@ -1,0 +1,47 @@
+"""Shared graph builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dgraph.edges import Edges
+
+
+def random_simple_graph(rng: np.random.Generator, n: int, target_m: int,
+                        weight_high: int = 255) -> Edges:
+    """A random simple undirected graph as a symmetric sorted edge sequence.
+
+    Pairs are deduplicated; weights are uniform integers in
+    ``[1, weight_high)``; directed-edge ids are final sorted positions
+    (the generator/`from_global_edges` contract).
+    """
+    u = rng.integers(0, n, target_m)
+    v = rng.integers(0, n, target_m)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    cu = np.minimum(u, v)
+    cv = np.maximum(u, v)
+    code = np.unique(cu * n + cv)
+    cu, cv = code // n, code % n
+    w = rng.integers(1, weight_high, len(cu))
+    sym = Edges(
+        np.concatenate([cu, cv]),
+        np.concatenate([cv, cu]),
+        np.concatenate([w, w]),
+    ).sort_lex()
+    sym.id[:] = np.arange(len(sym))
+    return sym
+
+
+def random_distinct_weight_graph(rng: np.random.Generator, n: int,
+                                 target_m: int) -> Edges:
+    """Like :func:`random_simple_graph` but with all-distinct weights."""
+    g = random_simple_graph(rng, n, target_m, weight_high=2)
+    # Overwrite with a permutation assigned per undirected pair.
+    cu = np.minimum(g.u, g.v)
+    cv = np.maximum(g.u, g.v)
+    code = cu * n + cv
+    uniq, inverse = np.unique(code, return_inverse=True)
+    perm = rng.permutation(len(uniq)).astype(np.int64) + 1
+    g.w[:] = perm[inverse]
+    return g

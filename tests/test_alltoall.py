@@ -1,0 +1,182 @@
+"""Tests for the sparse all-to-all variants (repro.simmpi.alltoall).
+
+The central contract: direct, two-level grid and hypercube deliveries return
+bit-identical results (receive buffers source-major with per-pair order
+preserved), differing only in charged cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import (
+    Comm,
+    Machine,
+    alltoallv_auto,
+    alltoallv_direct,
+    alltoallv_grid,
+    alltoallv_hypercube,
+    route_rows,
+    unsort,
+)
+from repro.simmpi.alltoall import _grid_intermediate, _grid_shape
+
+VARIANTS = [alltoallv_direct, alltoallv_grid, alltoallv_hypercube,
+            alltoallv_auto]
+
+
+def _random_send(rng, p, max_rows=12, cols=3):
+    sendbufs, sendcounts = [], []
+    for _ in range(p):
+        k = int(rng.integers(0, max_rows))
+        dest = np.sort(rng.integers(0, p, k))
+        counts = np.zeros(p, dtype=np.int64)
+        np.add.at(counts, dest, 1)
+        sendbufs.append(rng.integers(0, 10 ** 6, (k, cols)))
+        sendcounts.append(counts)
+    return sendbufs, sendcounts
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 11, 16, 23, 32])
+    def test_variants_agree(self, p, rng):
+        sendbufs, sendcounts = _random_send(rng, p)
+        ref, ref_counts = alltoallv_direct(
+            Comm(Machine(p)), sendbufs, sendcounts)
+        for fn in (alltoallv_grid, alltoallv_hypercube, alltoallv_auto):
+            got, got_counts = fn(Comm(Machine(p)), sendbufs, sendcounts)
+            for j in range(p):
+                assert np.array_equal(ref[j], got[j]), (fn.__name__, j)
+                assert np.array_equal(ref_counts[j], got_counts[j])
+
+    def test_per_pair_order_preserved(self, rng):
+        # All rows go 0 -> 1 carrying a sequence number.
+        p = 4
+        rows = np.arange(50).reshape(-1, 1)
+        sendbufs = [rows] + [np.empty((0, 1), dtype=np.int64)] * 3
+        counts0 = np.array([0, 50, 0, 0], dtype=np.int64)
+        sendcounts = [counts0] + [np.zeros(p, dtype=np.int64)] * 3
+        for fn in VARIANTS:
+            recv, _ = fn(Comm(Machine(p)), sendbufs, sendcounts)
+            assert np.array_equal(recv[1][:, 0], np.arange(50)), fn.__name__
+
+    def test_source_major_order(self, rng):
+        # Each PE i sends its rank to PE 0; PE 0 must receive 0,1,2,...
+        p = 6
+        sendbufs = [np.array([[i]]) for i in range(p)]
+        counts = np.zeros(p, dtype=np.int64)
+        counts[0] = 1
+        sendcounts = [counts.copy() for _ in range(p)]
+        for fn in VARIANTS:
+            recv, rc = fn(Comm(Machine(p)), sendbufs, sendcounts)
+            assert list(recv[0][:, 0]) == list(range(p)), fn.__name__
+            assert list(rc[0]) == [1] * p
+
+
+class TestValidation:
+    def test_count_mismatch_rejected(self):
+        p = 2
+        bufs = [np.zeros((3, 1), dtype=np.int64)] * 2
+        counts = [np.array([1, 1]), np.array([2, 1])]
+        with pytest.raises(ValueError):
+            alltoallv_direct(Comm(Machine(p)), bufs, counts)
+
+    def test_wrong_count_length_rejected(self):
+        p = 2
+        bufs = [np.zeros((0, 1), dtype=np.int64)] * 2
+        counts = [np.zeros(3, dtype=np.int64)] * 2
+        with pytest.raises(ValueError):
+            alltoallv_direct(Comm(Machine(p)), bufs, counts)
+
+
+class TestGridRouting:
+    @pytest.mark.parametrize("p", [4, 5, 7, 9, 12, 16, 20, 30])
+    def test_intermediate_in_range_and_reachable(self, p):
+        c, r = _grid_shape(p)
+        T = _grid_intermediate(p)
+        assert T.shape == (p, p)
+        assert (T >= 0).all() and (T < p).all()
+        i = np.arange(p)[:, None]
+        # Phase 1 stays within the sender's grid column.
+        assert ((T % c) == (i % c)).all()
+
+    def test_cost_grid_beats_direct_at_scale(self):
+        p = 256
+        bufs = [np.zeros((p, 1), dtype=np.int64) for _ in range(p)]
+        counts = [np.ones(p, dtype=np.int64) for _ in range(p)]
+        md, mg = Machine(p), Machine(p)
+        alltoallv_direct(Comm(md), bufs, counts)
+        alltoallv_grid(Comm(mg), bufs, counts)
+        assert mg.elapsed() < md.elapsed() / 2
+
+    def test_grid_doubles_volume(self):
+        p = 64
+        bufs = [np.zeros((p, 1), dtype=np.int64) for _ in range(p)]
+        counts = [np.ones(p, dtype=np.int64) for _ in range(p)]
+        md, mg = Machine(p), Machine(p)
+        alltoallv_direct(Comm(md), bufs, counts)
+        alltoallv_grid(Comm(mg), bufs, counts)
+        assert mg.bytes_communicated == pytest.approx(
+            2 * md.bytes_communicated)
+
+
+class TestAutoDispatch:
+    def test_small_messages_take_grid(self):
+        # Average bytes/message below the 500-byte threshold -> 2 exchanges.
+        p = 16
+        bufs = [np.zeros((p, 1), dtype=np.int64) for _ in range(p)]
+        counts = [np.ones(p, dtype=np.int64) for _ in range(p)]
+        m = Machine(p)
+        alltoallv_auto(Comm(m), bufs, counts)
+        assert m.n_collectives == 2  # the grid variant's two phases
+
+    def test_large_messages_take_direct(self):
+        p = 16
+        rows = 2000  # 16 kB per message
+        bufs = [np.zeros((rows * p, 1), dtype=np.int64) for _ in range(p)]
+        counts = [np.full(p, rows, dtype=np.int64) for _ in range(p)]
+        m = Machine(p)
+        alltoallv_auto(Comm(m), bufs, counts)
+        assert m.n_collectives == 1
+
+
+class TestRouteRows:
+    def test_request_reply_roundtrip(self, rng):
+        p = 8
+        comm = Comm(Machine(p))
+        rows = [rng.integers(0, 100, (10, 2)) for _ in range(p)]
+        dests = [rng.integers(0, p, 10) for _ in range(p)]
+        recv, src, orders = route_rows(comm, rows, dests)
+        replies = [r.sum(axis=1) for r in recv]
+        back, _, _ = route_rows(comm, replies, src)
+        for i in range(p):
+            restored = unsort(orders[i], back[i])
+            assert np.array_equal(restored, rows[i].sum(axis=1))
+
+    def test_length_mismatch_rejected(self):
+        comm = Comm(Machine(2))
+        with pytest.raises(ValueError):
+            route_rows(comm, [np.zeros((2, 1), dtype=np.int64),
+                              np.zeros((0, 1), dtype=np.int64)],
+                       [np.array([0]), np.empty(0, dtype=np.int64)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 9), st.integers(0, 30), st.integers(1, 99))
+    def test_conservation_property(self, p, k, seed):
+        """Every row sent arrives exactly once, at the right PE."""
+        rng = np.random.default_rng(seed)
+        comm = Comm(Machine(p))
+        rows = [rng.integers(0, 50, (k, 1)) for _ in range(p)]
+        dests = [rng.integers(0, p, k) for _ in range(p)]
+        recv, src, _ = route_rows(comm, rows, dests)
+        assert sum(len(r) for r in recv) == p * k
+        sent = sorted(np.concatenate([r[:, 0] for r in rows]).tolist())
+        got = sorted(np.concatenate(
+            [r[:, 0] for r in recv if len(r)]).tolist() if p * k else [])
+        assert sent == got
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

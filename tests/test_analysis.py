@@ -1,0 +1,125 @@
+"""Tests for the experiment harness (repro.analysis) and phase timers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    csv_lines,
+    run_algorithm,
+    series_table,
+    speedup_summary,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.graphgen import gen_gnm
+from repro.simmpi.timers import PHASES, PhaseBreakdown, format_table, normalise
+
+
+class TestRunAlgorithm:
+    def test_basic_run(self):
+        g = gen_gnm(128, 512, seed=1)
+        r = run_algorithm(g, "boruvka", 4)
+        assert r.status == "ok"
+        assert r.elapsed > 0
+        assert r.throughput == pytest.approx(r.m_directed / r.elapsed)
+        assert r.cores == 4
+
+    def test_threads_reflected_in_cores(self):
+        g = gen_gnm(128, 512, seed=1)
+        r = run_algorithm(g, "boruvka", 2, threads=8)
+        assert r.cores == 16
+
+    def test_oom_is_captured(self):
+        g = gen_gnm(256, 2048, seed=1)
+        r = run_algorithm(g, "mnd-mst", 16, memory_limit_bytes=20_000)
+        assert r.status == "oom"
+        assert not np.isfinite(r.elapsed)
+        assert np.isnan(r.throughput)
+
+    def test_verify_flag(self):
+        g = gen_gnm(128, 512, seed=1)
+        run_algorithm(g, "filter-boruvka", 4, verify=True)
+
+
+class TestSweeps:
+    def test_weak_scaling_sizes_grow(self):
+        results = weak_scaling(
+            lambda n, m, seed: gen_gnm(n, m, seed=seed),
+            ["boruvka"], [2, 4], 32, 128,
+        )
+        assert [r.n_vertices for r in results] == [64, 128]
+
+    def test_weak_scaling_competitor_cap(self):
+        results = weak_scaling(
+            lambda n, m, seed: gen_gnm(n, m, seed=seed),
+            ["boruvka", "mnd-mst"], [2, 8], 32, 128,
+            competitor_core_cap=2,
+        )
+        algs_at_8 = {r.algorithm for r in results if r.cores == 8}
+        assert "mnd-mst" not in algs_at_8
+        assert "boruvka" in algs_at_8
+
+    def test_strong_scaling_fixed_instance(self):
+        g = gen_gnm(256, 1024, seed=2)
+        results = strong_scaling(g, ["boruvka"], [2, 4, 8])
+        assert all(r.n_vertices == 256 for r in results)
+        assert [r.cores for r in results] == [2, 4, 8]
+
+
+class TestTables:
+    def _results(self):
+        return [
+            ExperimentResult("g", "a", 4, 4, 1, 10, 20, 1.0),
+            ExperimentResult("g", "a", 8, 8, 1, 10, 20, 0.5),
+            ExperimentResult("g", "b", 4, 4, 1, 10, 20, 2.0),
+            ExperimentResult("g", "b", 8, 8, 1, 10, 20, float("nan"),
+                             status="oom"),
+        ]
+
+    def test_series_table_layout(self):
+        t = series_table(self._results())
+        lines = t.splitlines()
+        assert lines[0].split() == ["cores", "a", "b"]
+        assert "oom" in t
+
+    def test_csv_lines(self):
+        lines = csv_lines(self._results())
+        assert len(lines) == 5
+        assert lines[0].startswith("instance,algorithm,cores")
+
+    def test_speedup_summary(self):
+        res = self._results()
+        # "a" is ours by prefix; "b" is a competitor: 2x at 4 cores.
+        s = speedup_summary(res, ours_prefixes=("a",))
+        assert "2x faster than b" in s
+
+    def test_speedup_summary_no_overlap(self):
+        res = [ExperimentResult("g", "a", 4, 4, 1, 10, 20, 1.0)]
+        assert speedup_summary(res, ours_prefixes=("zzz",)) \
+            == "no competitor overlap"
+
+
+class TestTimers:
+    def test_breakdown_total(self):
+        b = PhaseBreakdown("x", {"min_edges": 1.0, "filter": 2.0})
+        assert b.total == 3.0
+        filled = b.filled()
+        assert filled["contraction"] == 0.0
+        assert set(filled) == set(PHASES)
+
+    def test_normalise_by_slowest(self):
+        a = PhaseBreakdown("a", {"min_edges": 1.0})
+        b = PhaseBreakdown("b", {"min_edges": 4.0})
+        na, nb = normalise([a, b])
+        assert nb.total == pytest.approx(1.0)
+        assert na.total == pytest.approx(0.25)
+
+    def test_normalise_empty(self):
+        out = normalise([PhaseBreakdown("a", {})])
+        assert out[0].total == 0.0
+
+    def test_format_table(self):
+        a = PhaseBreakdown("alg-1", {"min_edges": 1.0, "filter": 0.5})
+        t = format_table([a])
+        assert "min_edges" in t and "alg-1" in t and "total" in t

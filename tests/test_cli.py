@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphgen import load_npz
+
+
+@pytest.fixture
+def instance(tmp_path):
+    path = tmp_path / "g.npz"
+    assert main(["gen", "--family", "GNM", "-n", "256", "-m", "1024",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestGen:
+    def test_family(self, tmp_path):
+        out = tmp_path / "grid.npz"
+        assert main(["gen", "--family", "2D-GRID", "-n", "256",
+                     "-o", str(out)]) == 0
+        g = load_npz(out)
+        assert g.name == "2D-GRID"
+
+    def test_instance(self, tmp_path):
+        out = tmp_path / "road.npz"
+        assert main(["gen", "--instance", "US-road", "-n", "1024",
+                     "-o", str(out)]) == 0
+        g = load_npz(out)
+        assert g.name == "US-road"
+
+    def test_family_and_instance_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["gen", "--family", "GNM", "--instance", "US-road",
+                  "-o", str(tmp_path / "x.npz")])
+
+
+class TestMst:
+    def test_runs_and_verifies(self, instance, capsys):
+        assert main(["mst", str(instance), "--procs", "4",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "MSF weight" in out
+        assert "verification    : OK" in out
+
+    @pytest.mark.parametrize("alg", ["filter-boruvka", "mnd-mst",
+                                     "awerbuch-shiloach"])
+    def test_algorithms(self, instance, alg, capsys):
+        assert main(["mst", str(instance), "--algorithm", alg,
+                     "--procs", "4", "--verify"]) == 0
+
+    def test_saves_msf(self, instance, tmp_path, capsys):
+        out = tmp_path / "msf.npz"
+        assert main(["mst", str(instance), "--procs", "4",
+                     "--output", str(out)]) == 0
+        msf = load_npz(out)
+        assert msf.name.endswith("-msf")
+        assert len(msf.edges) == 255  # spanning tree of 256 connected verts
+
+    def test_alltoall_choice(self, instance, capsys):
+        assert main(["mst", str(instance), "--procs", "8",
+                     "--alltoall", "grid3", "--verify"]) == 0
+
+    def test_no_preprocessing(self, instance, capsys):
+        assert main(["mst", str(instance), "--procs", "4",
+                     "--no-preprocessing", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "local_preprocessing" not in out
+
+
+class TestOthers:
+    def test_cc(self, instance, capsys):
+        assert main(["cc", str(instance), "--procs", "4"]) == 0
+        assert "connected components" in capsys.readouterr().out
+
+    def test_info(self, instance, capsys):
+        assert main(["info", str(instance)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices    : 256" in out
+
+    def test_sweep_weak(self, capsys):
+        assert main(["sweep", "--family", "GNM", "--cores", "2,4",
+                     "--per-core-vertices", "64",
+                     "--per-core-edges", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "cores" in out and "boruvka" in out
+
+    def test_sweep_strong(self, capsys):
+        assert main(["sweep", "--family", "GNM", "--cores", "2,4",
+                     "--strong", "--per-core-vertices", "64",
+                     "--per-core-edges", "256"]) == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,156 @@
+"""Tests for the competitor reimplementations (repro.competitors)."""
+
+import numpy as np
+import pytest
+
+from repro.competitors import mnd_mst, shared_memory_msf
+from repro.competitors.awerbuch_shiloach import awerbuch_shiloach_msf
+from repro.competitors.mnd_mst import _VertexMap
+from repro.core import BoruvkaConfig
+from repro.dgraph import DistGraph
+from repro.graphgen import FAMILIES, gen_family
+from repro.seq import kruskal_msf, verify_msf
+from repro.simmpi import Machine, SimulatedOutOfMemory
+
+from helpers import random_simple_graph
+
+
+class TestAwerbuchShiloach:
+    @pytest.mark.parametrize("p", [1, 2, 5, 9, 16])
+    def test_matches_kruskal(self, p, rng):
+        n = int(rng.integers(10, 80))
+        g = random_simple_graph(rng, n, 5 * n)
+        dg = DistGraph.from_global_edges(Machine(p), g)
+        res = awerbuch_shiloach_msf(dg)
+        verify_msf(res.msf_edges(), g, n, check_edges=False)
+        assert res.algorithm == "sparseMatrix"
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families(self, family):
+        g = gen_family(family, 300, 1200, seed=11)
+        dg = g.distribute(Machine(8))
+        res = awerbuch_shiloach_msf(dg)
+        verify_msf(res.msf_edges(), g.edges, g.n_vertices,
+                   check_edges=False)
+
+    def test_no_contraction_means_slow_iterations(self, rng):
+        """The edge set never shrinks: simulated time far exceeds ours."""
+        from repro.core import distributed_boruvka
+
+        g = gen_family("2D-GRID", 1024, 2048, seed=12)
+        m1, m2 = Machine(16), Machine(16)
+        r_ours = distributed_boruvka(g.distribute(m1),
+                                     BoruvkaConfig(base_case_min=64))
+        r_as = awerbuch_shiloach_msf(g.distribute(m2))
+        assert r_as.elapsed > 3 * r_ours.elapsed
+
+    def test_memory_limit_triggers_oom(self, rng):
+        g = random_simple_graph(rng, 200, 2000)
+        machine = Machine(4)
+        dg = DistGraph.from_global_edges(machine, g)
+        machine.memory_limit_bytes = 10_000  # tensor buffers exceed this
+        with pytest.raises(SimulatedOutOfMemory):
+            awerbuch_shiloach_msf(dg)
+
+
+class TestMndMst:
+    @pytest.mark.parametrize("p", [1, 2, 5, 9, 16])
+    def test_matches_kruskal(self, p, rng):
+        n = int(rng.integers(10, 80))
+        g = random_simple_graph(rng, n, 5 * n)
+        dg = DistGraph.from_global_edges(Machine(p), g)
+        res = mnd_mst(dg)
+        verify_msf(res.msf_edges(), g, n, check_edges=False)
+        assert res.algorithm == "MND-MST"
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families(self, family):
+        g = gen_family(family, 300, 1200, seed=13)
+        dg = g.distribute(Machine(8))
+        res = mnd_mst(dg)
+        verify_msf(res.msf_edges(), g.edges, g.n_vertices,
+                   check_edges=False)
+
+    def test_group_size_variants(self, rng):
+        g = random_simple_graph(rng, 60, 400)
+        for group_size in (2, 4, 16):
+            dg = DistGraph.from_global_edges(Machine(9), g)
+            res = mnd_mst(dg, group_size=group_size)
+            verify_msf(res.msf_edges(), g, 60, check_edges=False)
+
+    def test_shared_vertices_handled(self, rng):
+        # A star graph forces shared hubs under block partitioning.
+        n = 60
+        hub = np.zeros(n - 1, dtype=np.int64)
+        leaves = np.arange(1, n, dtype=np.int64)
+        w = rng.integers(1, 255, n - 1)
+        from repro.dgraph import Edges
+
+        g = Edges(np.concatenate([hub, leaves]),
+                  np.concatenate([leaves, hub]),
+                  np.concatenate([w, w])).sort_lex()
+        g.id[:] = np.arange(len(g))
+        dg = DistGraph.from_global_edges(Machine(6), g)
+        res = mnd_mst(dg)
+        verify_msf(res.msf_edges(), g, n, check_edges=False)
+
+    def test_leader_memory_concentration_ooms(self, rng):
+        g = gen_family("GNM", 256, 2048, seed=14)
+        machine = Machine(16)
+        dg = g.distribute(machine)
+        machine.memory_limit_bytes = 20_000  # leaders accumulate past this
+        with pytest.raises(SimulatedOutOfMemory):
+            mnd_mst(dg)
+
+    def test_skew_causes_load_imbalance(self):
+        """RMAT (skewed) costs MND-MST far more than ours (Section VII-A)."""
+        from repro.core import distributed_boruvka
+
+        g = gen_family("RMAT", 1024, 8192, seed=15)
+        m1, m2 = Machine(16), Machine(16)
+        r_ours = distributed_boruvka(g.distribute(m1),
+                                     BoruvkaConfig(base_case_min=64))
+        r_mnd = mnd_mst(g.distribute(m2))
+        assert r_mnd.elapsed > 1.5 * r_ours.elapsed
+
+
+class TestVertexMap:
+    def test_chain_resolution(self):
+        vm = _VertexMap()
+        vm.add(np.array([1, 2]), np.array([2, 3]))
+        out = vm.resolve(np.array([1, 2, 3, 9]))
+        assert list(out) == [3, 3, 3, 9]
+
+    def test_merge_rows(self):
+        vm = _VertexMap()
+        vm.add(np.array([5]), np.array([6]))
+        vm.merge(np.array([[6, 7]]))
+        assert list(vm.resolve(np.array([5]))) == [7]
+
+    def test_empty_resolve(self):
+        vm = _VertexMap()
+        out = vm.resolve(np.array([3, 1]))
+        assert list(out) == [3, 1]
+
+
+class TestSharedMemoryReference:
+    def test_correct_msf(self, rng):
+        g = random_simple_graph(rng, 100, 800)
+        sm = shared_memory_msf(g, 100)
+        verify_msf(sm.msf, g, 100, check_edges=False)
+
+    def test_more_cores_is_faster(self, rng):
+        g = random_simple_graph(rng, 100, 800)
+        t32 = shared_memory_msf(g, 100, cores=32).elapsed
+        t128 = shared_memory_msf(g, 100, cores=128).elapsed
+        assert t128 < t32
+
+    def test_amdahl_floor(self, rng):
+        g = random_simple_graph(rng, 100, 800)
+        t_huge = shared_memory_msf(g, 100, cores=10 ** 6).elapsed
+        assert t_huge > 0  # the serial fraction bounds the speedup
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)

@@ -1,0 +1,100 @@
+"""Unit tests for the cost model (repro.simmpi.costmodel)."""
+
+import math
+
+import pytest
+
+from repro.simmpi import CostModel
+
+
+@pytest.fixture
+def cm():
+    return CostModel()
+
+
+class TestThreadModel:
+    def test_single_thread_is_unit(self, cm):
+        assert cm.effective_threads(1) == 1.0
+
+    def test_speedup_is_monotone(self, cm):
+        speedups = [cm.effective_threads(t) for t in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_speedup_is_sublinear(self, cm):
+        assert cm.effective_threads(8) < 8.0
+
+    def test_efficiency_one_is_linear(self):
+        cm = CostModel(thread_efficiency=1.0)
+        assert cm.effective_threads(8) == 8.0
+
+
+class TestPointToPoint:
+    def test_startup_dominates_empty_message(self, cm):
+        assert cm.p2p(0) == pytest.approx(cm.alpha)
+
+    def test_linear_in_bytes(self, cm):
+        d1 = cm.p2p(1000) - cm.p2p(0)
+        d2 = cm.p2p(2000) - cm.p2p(1000)
+        assert d1 == pytest.approx(d2)
+
+
+class TestCollectives:
+    def test_tree_grows_logarithmically(self, cm):
+        t64 = cm.collective_tree(64, 0)
+        t4096 = cm.collective_tree(4096, 0)
+        # log2(4096)/log2(64) = 2 -> cost roughly doubles, not 64x.
+        assert t4096 < 3 * t64
+
+    def test_tree_single_pe_is_cheap(self, cm):
+        assert cm.collective_tree(1, 10 ** 6) == pytest.approx(cm.c_call)
+
+    def test_allgather_charges_total_bytes(self, cm):
+        small = cm.allgather(16, 100)
+        big = cm.allgather(16, 100_000)
+        assert big > small
+
+    def test_alltoall_dense_startup_linear_in_group(self, cm):
+        t_small = cm.alltoall_dense(64, 0, 0)
+        t_big = cm.alltoall_dense(4096, 0, 0)
+        ratio = (t_big - cm.c_call) / (t_small - cm.c_call)
+        assert ratio == pytest.approx(4096 / 64, rel=0.01)
+
+    def test_alltoall_software_term_not_threaded(self, cm):
+        # The beta_sw share is identical regardless of the threads argument
+        # (funneled MPI): total cost must not depend on threads.
+        assert cm.alltoall_dense(8, 1e6, 1e6, threads=1) == pytest.approx(
+            cm.alltoall_dense(8, 1e6, 1e6, threads=8))
+
+
+class TestLocalCharges:
+    def test_scan_linear(self, cm):
+        assert cm.scan(2000) == pytest.approx(2 * cm.scan(1000))
+
+    def test_scan_threads_help(self, cm):
+        assert cm.scan(1000, threads=8) < cm.scan(1000, threads=1)
+
+    def test_sort_superlinear(self, cm):
+        assert cm.sort(2048) > 2 * cm.sort(1024)
+
+    def test_sort_trivial_inputs_free(self, cm):
+        assert cm.sort(0) == 0.0
+        assert cm.sort(1) == 0.0
+
+    def test_sort_log_factor(self, cm):
+        k = 1 << 16
+        expected = cm.c_sort * k * math.log2(k)
+        assert cm.sort(k) == pytest.approx(expected)
+
+    def test_hash_ops_linear(self, cm):
+        assert cm.hash_ops(300) == pytest.approx(3 * cm.hash_ops(100))
+
+
+class TestCalibration:
+    def test_communication_dominates_scan_per_edge(self, cm):
+        """At the paper's scale moving an edge costs more than scanning it.
+
+        This ordering (Section VII, Fig. 6: communication phases dominate on
+        low-locality graphs) is what makes locality exploitation pay off.
+        """
+        edge_bytes = 32
+        assert cm.beta * edge_bytes > cm.c_scan

@@ -1,0 +1,146 @@
+"""Tests for the distributed graph structure (repro.dgraph.dist_graph)."""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.dgraph import DistGraph, Edges, lex_searchsorted
+from repro.simmpi import Machine
+
+from helpers import random_simple_graph
+
+
+class TestLexSearchsorted:
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_matches_bisect(self, side, rng):
+        keys = sorted(
+            (int(a), int(b), int(c))
+            for a, b, c in zip(rng.integers(0, 20, 25),
+                               rng.integers(0, 5, 25),
+                               rng.integers(0, 5, 25))
+        )
+        ku = np.array([k[0] for k in keys])
+        kv = np.array([k[1] for k in keys])
+        kw = np.array([k[2] for k in keys])
+        qu = rng.integers(0, 22, 300)
+        qv = rng.integers(0, 6, 300)
+        qw = rng.integers(0, 6, 300)
+        fn = bisect.bisect_right if side == "right" else bisect.bisect_left
+        expect = np.array([fn(keys, (a, b, c))
+                           for a, b, c in zip(qu, qv, qw)])
+        got = lex_searchsorted((ku, kv, kw), (qu, qv, qw), side)
+        assert np.array_equal(got, expect)
+
+    def test_empty_keys(self):
+        out = lex_searchsorted((np.empty(0, dtype=np.int64),),
+                               (np.array([1, 2]),))
+        assert list(out) == [0, 0]
+
+    def test_empty_queries(self):
+        out = lex_searchsorted((np.array([1]),), (np.empty(0, dtype=np.int64),))
+        assert len(out) == 0
+
+
+class TestConstruction:
+    def test_partition_covers_everything(self, rng):
+        g = random_simple_graph(rng, 50, 300)
+        dg = DistGraph.from_global_edges(Machine(7), g)
+        assert dg.global_edge_count() == len(g)
+        expected_n = len(np.unique(np.concatenate([g.u, g.v])))
+        assert dg.global_vertex_count() == expected_n
+
+    def test_avoid_shared(self, rng):
+        g = random_simple_graph(rng, 50, 300)
+        dg = DistGraph.from_global_edges(Machine(7), g, avoid_shared=True)
+        assert not dg.shared_first.any()
+        assert len(dg.shared_vertex_set()) == 0
+
+    def test_ids_are_positions(self, rng):
+        g = random_simple_graph(rng, 30, 100)
+        dg = DistGraph.from_global_edges(Machine(4), g)
+        all_ids = np.concatenate([p.id for p in dg.parts])
+        assert np.array_equal(all_ids, np.arange(len(g)))
+
+    def test_more_pes_than_edges(self, rng):
+        g = random_simple_graph(rng, 5, 4)
+        dg = DistGraph.from_global_edges(Machine(32), g)
+        assert dg.global_edge_count() == len(g)
+        assert (~dg.has_edges).sum() > 0  # some PEs empty
+
+    def test_wrong_part_count_rejected(self):
+        with pytest.raises(ValueError):
+            DistGraph(Machine(3), [Edges.empty()])
+
+    def test_unsorted_part_rejected(self):
+        bad = Edges(np.array([2, 1]), np.array([0, 0]), np.array([1, 1]))
+        ok = Edges.empty()
+        with pytest.raises(ValueError):
+            DistGraph(Machine(2), [bad, ok])
+
+    def test_global_order_violation_rejected(self):
+        a = Edges(np.array([5]), np.array([0]), np.array([1]))
+        b = Edges(np.array([1]), np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            DistGraph(Machine(2), [a, b])
+
+
+class TestLocalisation:
+    def test_home_of_resident_edges(self, rng):
+        g = random_simple_graph(rng, 60, 400)
+        dg = DistGraph.from_global_edges(Machine(9), g)
+        for i, part in enumerate(dg.parts):
+            if len(part) == 0:
+                continue
+            homes = dg.home_of_edges(part.u, part.v, part.w)
+            assert (homes == i).all()
+
+    def test_home_of_vertices_owns_vertex(self, rng):
+        g = random_simple_graph(rng, 60, 400)
+        dg = DistGraph.from_global_edges(Machine(9), g)
+        vertices = np.unique(g.u)
+        homes = dg.home_of_vertices(vertices)
+        for v, h in zip(vertices, homes):
+            assert v in dg.parts[h].u
+
+    def test_shared_vertices_detected(self, rng):
+        # Star graph: the hub's edges must straddle boundaries.
+        n = 40
+        hub = np.zeros(n - 1, dtype=np.int64)
+        leaves = np.arange(1, n, dtype=np.int64)
+        w = rng.integers(1, 255, n - 1)
+        g = Edges(np.concatenate([hub, leaves]),
+                  np.concatenate([leaves, hub]),
+                  np.concatenate([w, w])).sort_lex()
+        g.id[:] = np.arange(len(g))
+        dg = DistGraph.from_global_edges(Machine(4), g)
+        assert 0 in dg.shared_vertex_set()
+
+
+class TestVertexGroups:
+    def test_groups_cover_part(self, rng):
+        g = random_simple_graph(rng, 40, 250)
+        dg = DistGraph.from_global_edges(Machine(5), g)
+        for i in range(5):
+            vids, starts = dg.vertex_groups(i)
+            part = dg.parts[i]
+            assert starts[-1] == len(part)
+            for k, v in enumerate(vids):
+                seg = part.u[starts[k]:starts[k + 1]]
+                assert (seg == v).all()
+
+    def test_empty_part(self):
+        dg = DistGraph(Machine(2), [Edges.empty(), Edges.empty()])
+        vids, starts = dg.vertex_groups(0)
+        assert len(vids) == 0 and list(starts) == [0]
+
+    def test_local_vertex_counts(self, rng):
+        g = random_simple_graph(rng, 40, 250)
+        dg = DistGraph.from_global_edges(Machine(5), g)
+        counts = dg.local_vertex_counts()
+        assert counts.sum() - dg.shared_first.sum() == dg.global_vertex_count()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)

@@ -1,0 +1,72 @@
+"""Tests for the replicated-vertex distributed Kruskal
+(repro.competitors.dist_kruskal)."""
+
+import numpy as np
+import pytest
+
+from repro.competitors import dist_kruskal
+from repro.core import BoruvkaConfig, distributed_boruvka
+from repro.dgraph import DistGraph
+from repro.graphgen import FAMILIES, gen_family
+from repro.seq import verify_msf
+from repro.simmpi import Machine, SimulatedOutOfMemory
+
+from helpers import random_distinct_weight_graph, random_simple_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 16])
+    def test_matches_kruskal(self, p, rng):
+        n = int(rng.integers(10, 80))
+        g = random_simple_graph(rng, n, 5 * n)
+        dg = DistGraph.from_global_edges(Machine(p), g)
+        res = dist_kruskal(dg)
+        verify_msf(res.msf_edges(), g, n, check_edges=False)
+        assert res.algorithm == "dist-kruskal"
+
+    def test_identical_edges_with_distinct_weights(self, rng):
+        n = 50
+        g = random_distinct_weight_graph(rng, n, 4 * n)
+        dg = DistGraph.from_global_edges(Machine(6), g)
+        res = dist_kruskal(dg)
+        verify_msf(res.msf_edges(), g, n, check_edges=True)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families(self, family):
+        g = gen_family(family, 256, 1024, seed=19)
+        dg = g.distribute(Machine(8))
+        res = dist_kruskal(dg)
+        verify_msf(res.msf_edges(), g.edges, g.n_vertices,
+                   check_edges=False)
+
+    def test_merge_levels_logarithmic(self, rng):
+        g = random_simple_graph(rng, 60, 400)
+        dg = DistGraph.from_global_edges(Machine(16), g)
+        res = dist_kruskal(dg)
+        assert res.rounds == 4  # log2(16) merge levels
+
+
+class TestScalingCharacter:
+    def test_replicated_vertices_hit_memory_wall(self, rng):
+        """Per-PE memory is Omega(n): a tight limit OOMs even at large p."""
+        g = gen_family("GNM", 4096, 8192, seed=20)
+        machine = Machine(32)
+        dg = g.distribute(machine)
+        machine.memory_limit_bytes = 30_000  # Omega(n) replication exceeds it
+        with pytest.raises(SimulatedOutOfMemory):
+            dist_kruskal(dg)
+
+    def test_serial_merge_bottleneck(self):
+        """Our boruvka beats the merge tree at scale (the Section III
+        story: [24] targets small machines)."""
+        g = gen_family("GNM", 4096, 32768, seed=21)
+        m1, m2 = Machine(32), Machine(32)
+        r_ours = distributed_boruvka(g.distribute(m1),
+                                     BoruvkaConfig(base_case_min=128))
+        r_dk = dist_kruskal(g.distribute(m2))
+        assert r_dk.elapsed > r_ours.elapsed
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(163)

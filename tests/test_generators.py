@@ -1,0 +1,227 @@
+"""Tests for the graph generators (repro.graphgen)."""
+
+import numpy as np
+import pytest
+
+from repro.graphgen import (
+    FAMILIES,
+    TABLE_I,
+    gen_family,
+    gen_gnm,
+    gen_grid2d,
+    gen_realworld,
+    gen_rgg2d,
+    gen_rgg3d,
+    gen_rhg,
+    gen_rmat,
+    load_compressed,
+    load_npz,
+    radius_for_avg_degree,
+    save_compressed,
+    save_npz,
+)
+from repro.simmpi import Machine
+
+
+def _check_contract(g):
+    """The generator contract every family must honour (Section VII)."""
+    e = g.edges
+    assert e.is_sorted_lex()
+    assert np.array_equal(e.id, np.arange(len(e)))
+    assert (e.w >= 1).all() and (e.w < 255).all()
+    assert (e.u >= 0).all() and (e.u < g.n_vertices).all()
+    assert (e.v >= 0).all() and (e.v < g.n_vertices).all()
+    assert (e.u != e.v).all()
+    # Symmetric with identical weights per direction.
+    fwd = set(zip(e.u.tolist(), e.v.tolist(), e.w.tolist()))
+    assert all((v, u, w) in fwd for (u, v, w) in fwd)
+    # No duplicate directed pairs.
+    pairs = list(zip(e.u.tolist(), e.v.tolist()))
+    assert len(pairs) == len(set(pairs))
+
+
+class TestContract:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_family_contract(self, family):
+        _check_contract(gen_family(family, 512, 2048, seed=3))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic(self, family):
+        a = gen_family(family, 256, 1024, seed=5)
+        b = gen_family(family, 256, 1024, seed=5)
+        assert np.array_equal(a.edges.as_matrix(), b.edges.as_matrix())
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_seed_matters(self, family):
+        if family == "2D-GRID":
+            pytest.skip("grid topology is deterministic; only weights vary")
+        a = gen_family(family, 256, 1024, seed=1)
+        b = gen_family(family, 256, 1024, seed=2)
+        assert not np.array_equal(a.edges.as_matrix(), b.edges.as_matrix())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            gen_family("HYPERGRID", 100, 200)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_distribute_no_shared(self, family):
+        g = gen_family(family, 256, 1024, seed=3)
+        dg = g.distribute(Machine(8))
+        assert not dg.shared_first.any()
+
+
+class TestGrid:
+    def test_degrees_bounded_by_four(self):
+        g = gen_grid2d(12, 17, seed=0)
+        deg = np.bincount(g.edges.u)
+        assert deg.max() <= 4
+
+    def test_edge_count(self):
+        r, c = 9, 13
+        g = gen_grid2d(r, c)
+        assert g.n_undirected_edges == r * (c - 1) + c * (r - 1)
+
+    def test_periodic_torus_regular(self):
+        g = gen_grid2d(8, 8, periodic=True)
+        deg = np.bincount(g.edges.u, minlength=64)
+        assert (deg == 4).all()
+
+    def test_degenerate_sizes(self):
+        assert gen_grid2d(1, 5).n_undirected_edges == 4
+        with pytest.raises(ValueError):
+            gen_grid2d(0, 5)
+
+    def test_high_locality_under_partition(self):
+        g = gen_grid2d(32, 32, seed=0)
+        dg = g.distribute(Machine(4))
+        local = 0
+        for i in range(4):
+            part = dg.parts[i]
+            vids = np.unique(part.u)
+            idx = np.searchsorted(vids, part.v)
+            idx_c = np.minimum(idx, len(vids) - 1)
+            local += int(((idx < len(vids))
+                          & (vids[idx_c] == part.v)).sum())
+        assert local / dg.global_edge_count() > 0.8
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gen_gnm(100, 500, seed=2)
+        assert g.n_undirected_edges == 500
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gen_gnm(4, 100)
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ValueError):
+            gen_gnm(1, 0)
+
+
+class TestGeometric:
+    def test_rgg_degree_calibration(self):
+        g = gen_rgg2d(2000, avg_degree=12, seed=4)
+        mean_deg = 2 * g.n_undirected_edges / g.n_vertices
+        assert 7 < mean_deg < 17  # boundary effects allowed
+
+    def test_rgg3d(self):
+        g = gen_rgg3d(800, avg_degree=10, seed=4)
+        assert g.name == "3D-RGG"
+        _check_contract(g)
+
+    def test_radius_formula(self):
+        r2 = radius_for_avg_degree(1000, 10, 2)
+        assert 1000 * np.pi * r2 ** 2 == pytest.approx(10)
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ValueError):
+            gen_rgg2d(100)
+        with pytest.raises(ValueError):
+            gen_rgg2d(100, avg_degree=5, radius=0.1)
+
+    def test_rgg_locality_from_spatial_numbering(self):
+        g = gen_rgg2d(2048, avg_degree=12, seed=4)
+        # Neighbours should have nearby labels: median id distance small.
+        dist = np.abs(g.edges.u - g.edges.v)
+        assert np.median(dist) < g.n_vertices / 8
+
+
+class TestRhg:
+    def test_power_law_tail(self):
+        g = gen_rhg(4000, avg_degree=12, gamma=3.0, seed=5)
+        deg = np.bincount(g.edges.u)
+        deg = deg[deg > 0]
+        # Heavy tail: the max degree far exceeds the mean.
+        assert deg.max() > 6 * deg.mean()
+
+    def test_average_degree_roughly_calibrated(self):
+        g = gen_rhg(4000, avg_degree=12, seed=5)
+        mean_deg = 2 * g.n_undirected_edges / g.n_vertices
+        assert 4 < mean_deg < 36
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            gen_rhg(100, 8, gamma=1.5)
+
+
+class TestRmat:
+    def test_skewed_degrees(self):
+        g = gen_rmat(12, 16384, seed=6)
+        deg = np.bincount(g.edges.u)
+        deg = deg[deg > 0]
+        assert deg.max() > 10 * deg.mean()
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            gen_rmat(8, 100, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_log_n_bounds(self):
+        with pytest.raises(ValueError):
+            gen_rmat(0, 10)
+
+    def test_scramble_destroys_locality(self):
+        a = gen_rmat(10, 4096, seed=7, scramble=False)
+        b = gen_rmat(10, 4096, seed=7, scramble=True)
+        da = np.median(np.abs(a.edges.u - a.edges.v))
+        db = np.median(np.abs(b.edges.u - b.edges.v))
+        assert db > da
+
+
+class TestRealWorld:
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_standins(self, name):
+        g = gen_realworld(name, n=1024, seed=8)
+        _check_contract(g)
+        assert g.params["instance"] == name
+        assert g.params["scale_factor"] > 1
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(ValueError):
+            gen_realworld("orkut")
+
+    def test_mn_ratio_classes(self):
+        road = gen_realworld("US-road", n=4096, seed=8)
+        web = gen_realworld("wdc-14", n=4096, seed=8)
+        mn = lambda g: 2 * g.n_undirected_edges / g.n_vertices
+        assert mn(road) < 5 < mn(web)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path):
+        g = gen_family("GNM", 128, 512, seed=9)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2.name == g.name
+        assert g2.n_vertices == g.n_vertices
+        assert np.array_equal(g2.edges.as_matrix(), g.edges.as_matrix())
+
+    def test_compressed_roundtrip(self, tmp_path):
+        g = gen_family("GNM", 128, 512, seed=9)
+        path = tmp_path / "g.kmst.npz"
+        save_compressed(g, path)
+        g2 = load_compressed(path)
+        assert np.array_equal(g2.edges.u, g.edges.u)
+        assert np.array_equal(g2.edges.v, g.edges.v)
+        assert np.array_equal(g2.edges.w, g.edges.w)

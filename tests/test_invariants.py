@@ -1,0 +1,131 @@
+"""Cross-cutting invariants: distribution discipline, cost accounting,
+failure injection (the checks DESIGN.md Section 4 promises)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoruvkaConfig,
+    MSTRun,
+    contract_components,
+    distributed_boruvka,
+    exchange_labels,
+    min_edges,
+    relabel,
+)
+from repro.core.labels import GhostTable
+from repro.dgraph import DistGraph
+from repro.simmpi import Machine
+
+from helpers import random_simple_graph
+
+
+class TestCostAccounting:
+    def test_clocks_monotone_through_full_run(self, rng):
+        """Sampled clock snapshots never decrease during an algorithm."""
+        g = random_simple_graph(rng, 60, 300)
+        machine = Machine(6)
+        snapshots = []
+        orig_charge = machine.charge
+
+        def spy(seconds, ranks=None):
+            orig_charge(seconds, ranks)
+            snapshots.append(machine.clock.copy())
+
+        machine.charge = spy
+        dg = DistGraph.from_global_edges(machine, g)
+        distributed_boruvka(dg, BoruvkaConfig(base_case_min=16))
+        for a, b in zip(snapshots, snapshots[1:]):
+            assert (b >= a - 1e-15).all()
+
+    def test_phase_times_bounded_by_elapsed(self, rng):
+        g = random_simple_graph(rng, 60, 300)
+        machine = Machine(6)
+        dg = DistGraph.from_global_edges(machine, g)
+        res = distributed_boruvka(dg, BoruvkaConfig(base_case_min=16))
+        # Each phase's max-over-PEs time is at most the makespan; their sum
+        # bounds it from above (phases partition per-PE time).
+        assert all(0 <= t <= res.elapsed + 1e-12
+                   for t in res.phase_times.values())
+        assert sum(res.phase_times.values()) >= res.elapsed * 0.5
+
+    def test_more_data_costs_more(self, rng):
+        times = []
+        for scale in (1, 4):
+            g = random_simple_graph(rng, 40 * scale, 200 * scale)
+            machine = Machine(4)
+            dg = DistGraph.from_global_edges(machine, g)
+            res = distributed_boruvka(dg, BoruvkaConfig(base_case_min=16))
+            times.append(res.elapsed)
+        assert times[1] > times[0]
+
+    def test_alltoall_method_changes_cost_not_result(self, rng):
+        g = random_simple_graph(rng, 60, 400)
+        weights, times = set(), {}
+        for method in ("direct", "grid", "grid3", "hypercube"):
+            machine = Machine(9)
+            dg = DistGraph.from_global_edges(machine, g)
+            res = distributed_boruvka(
+                dg, BoruvkaConfig(base_case_min=16, alltoall=method))
+            weights.add(res.total_weight)
+            times[method] = res.elapsed
+        assert len(weights) == 1
+        assert len(set(times.values())) > 1  # costs genuinely differ
+
+
+class TestFailureInjection:
+    def test_corrupt_ghost_table_detected(self, rng):
+        """A ghost vertex whose label never arrived must raise, not corrupt."""
+        g = random_simple_graph(rng, 50, 250)
+        machine = Machine(5)
+        dg = DistGraph.from_global_edges(machine, g)
+        run = MSTRun(machine, BoruvkaConfig())
+        chosen = min_edges(dg)
+        labels = contract_components(dg, chosen, run)
+        vids = [c.vids for c in chosen]
+        tables = exchange_labels(dg, vids, labels, run)
+        # Drop a ghost entry from the first non-empty table.
+        victim = next(i for i, t in enumerate(tables) if len(t.ghosts))
+        broken = GhostTable(tables[victim].ghosts[1:],
+                            tables[victim].labels[1:])
+        # Only a problem if the dropped ghost is actually referenced.
+        dropped = int(tables[victim].ghosts[0])
+        part = dg.parts[victim]
+        if dropped not in part.v:
+            pytest.skip("dropped ghost not referenced by this part")
+        tables[victim] = broken
+        with pytest.raises(RuntimeError, match="ghost labels missing"):
+            relabel(dg, vids, labels, tables, run)
+
+    def test_query_for_unknown_vertex_detected(self, rng):
+        """Pointer doubling queries for non-resident vertices must raise."""
+        g = random_simple_graph(rng, 50, 250)
+        machine = Machine(5)
+        dg = DistGraph.from_global_edges(machine, g)
+        run = MSTRun(machine, BoruvkaConfig())
+        chosen = min_edges(dg)
+        # Corrupt one chosen edge's endpoint to a non-existent vertex.
+        victim = next(i for i, c in enumerate(chosen)
+                      if len(c) and not c.shared.all())
+        k = int(np.flatnonzero(~chosen[victim].shared)[0])
+        chosen[victim].to[k] = 10 ** 9
+        with pytest.raises(RuntimeError):
+            contract_components(dg, chosen, run)
+
+
+class TestDeterminismAcrossMethods:
+    def test_identical_forest_for_all_sorters(self, rng):
+        g = random_simple_graph(rng, 60, 350)
+        triples = []
+        for sorter in ("hypercube", "samplesort"):
+            machine = Machine(7)
+            dg = DistGraph.from_global_edges(machine, g)
+            res = distributed_boruvka(
+                dg, BoruvkaConfig(base_case_min=16, sorter=sorter))
+            triples.append(res.msf_edges().canonical_triples())
+        assert np.array_equal(triples[0], triples[1])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(149)

@@ -1,0 +1,155 @@
+"""Tests for the KKT linear-time MST and its forest-path oracle
+(repro.seq.kkt)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dgraph import Edges
+from repro.seq import (
+    NO_PATH,
+    boruvka_round,
+    kkt_msf,
+    kruskal_msf,
+    max_weight_on_paths,
+    verify_msf,
+)
+
+from helpers import random_simple_graph
+
+
+def _naive_path_max(forest: Edges, n: int, a: int, b: int) -> int:
+    """Reference: DFS for the path max weight (NO_PATH if disconnected)."""
+    adj = {v: [] for v in range(n)}
+    for k in range(len(forest)):
+        adj[int(forest.u[k])].append((int(forest.v[k]), int(forest.w[k])))
+        adj[int(forest.v[k])].append((int(forest.u[k]), int(forest.w[k])))
+    if a == b:
+        return 0
+    stack = [(a, -1, 0)]
+    while stack:
+        x, prev, best = stack.pop()
+        for y, w in adj[x]:
+            if y == prev:
+                continue
+            nb = max(best, w)
+            if y == b:
+                return nb
+            stack.append((y, x, nb))
+    return int(NO_PATH)
+
+
+class TestPathOracle:
+    def test_matches_naive_on_random_forests(self, rng):
+        n = 40
+        for trial in range(5):
+            g = random_simple_graph(rng, n, 3 * n)
+            forest = kruskal_msf(g, n)
+            qu = rng.integers(0, n, 50)
+            qv = rng.integers(0, n, 50)
+            got = max_weight_on_paths(forest, n, qu, qv)
+            for k in range(50):
+                expect = _naive_path_max(forest, n, int(qu[k]), int(qv[k]))
+                assert got[k] == expect, (trial, qu[k], qv[k])
+
+    def test_same_vertex_is_zero(self, rng):
+        g = random_simple_graph(rng, 20, 40)
+        forest = kruskal_msf(g, 20)
+        out = max_weight_on_paths(forest, 20, np.array([5]), np.array([5]))
+        assert out[0] == 0
+
+    def test_disconnected_pairs(self):
+        forest = Edges(np.array([0]), np.array([1]), np.array([7]))
+        out = max_weight_on_paths(forest, 4, np.array([0, 2]),
+                                  np.array([1, 3]))
+        assert out[0] == 7
+        assert out[1] == NO_PATH
+
+    def test_path_graph_prefix_maxima(self):
+        n = 16
+        u = np.arange(n - 1)
+        w = np.array([3, 1, 9, 2, 5, 4, 8, 1, 2, 7, 6, 1, 2, 3, 4])
+        forest = Edges(u, u + 1, w)
+        qu = np.zeros(n - 1, dtype=np.int64)
+        qv = np.arange(1, n)
+        out = max_weight_on_paths(forest, n, qu, qv)
+        assert np.array_equal(out, np.maximum.accumulate(w))
+
+    def test_empty_forest(self):
+        out = max_weight_on_paths(Edges.empty(), 5, np.array([1]),
+                                  np.array([2]))
+        assert out[0] == NO_PATH
+
+
+class TestBoruvkaRound:
+    def test_halves_components(self, rng):
+        n = 64
+        g = random_simple_graph(rng, n, 4 * n)
+        labels = np.arange(n)
+        chosen, new_labels = boruvka_round(g, labels)
+        n_before = len(np.unique(labels[np.unique(g.u)]))
+        n_after = len(np.unique(new_labels[np.unique(g.u)]))
+        assert n_after <= n_before / 2 + 1
+
+    def test_chosen_edges_acyclic(self, rng):
+        from repro.seq import UnionFind
+
+        n = 50
+        g = random_simple_graph(rng, n, 4 * n)
+        chosen, _ = boruvka_round(g, np.arange(n))
+        uf = UnionFind(n)
+        for pos in chosen:
+            assert uf.union(int(g.u[pos]), int(g.v[pos]))
+
+    def test_no_alive_edges(self):
+        g = Edges(np.array([0]), np.array([1]), np.array([5]))
+        labels = np.zeros(2, dtype=np.int64)  # already same component
+        chosen, out = boruvka_round(g, labels)
+        assert len(chosen) == 0
+        assert np.array_equal(out, labels)
+
+
+class TestKKT:
+    @pytest.mark.parametrize("trial", range(6))
+    def test_matches_kruskal(self, trial):
+        rng = np.random.default_rng(trial)
+        n = int(rng.integers(10, 120))
+        g = random_simple_graph(rng, n, 6 * n)
+        if len(g) == 0:
+            return
+        msf = kkt_msf(g, n, rng=np.random.default_rng(trial + 1000),
+                      base_case_size=16)
+        verify_msf(msf, g, n, check_edges=False)
+
+    def test_dense_graph(self, rng):
+        n = 40
+        g = random_simple_graph(rng, n, 20 * n)
+        msf = kkt_msf(g, n, base_case_size=16)
+        verify_msf(msf, g, n, check_edges=False)
+
+    def test_disconnected(self, rng):
+        a = random_simple_graph(rng, 20, 60)
+        b = random_simple_graph(rng, 20, 60)
+        g = Edges.concat([a, Edges(b.u + 20, b.v + 20, b.w)]).sort_lex()
+        msf = kkt_msf(g, 40, base_case_size=8)
+        verify_msf(msf, g, 40, check_edges=False)
+
+    def test_empty(self):
+        assert len(kkt_msf(Edges.empty(), 5)) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 50), st.integers(0, 10 ** 6))
+    def test_weight_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g = random_simple_graph(rng, n, 5 * n)
+        if len(g) == 0:
+            return
+        msf = kkt_msf(g, n, rng=np.random.default_rng(seed + 1),
+                      base_case_size=8)
+        assert msf.total_weight() == kruskal_msf(g, n).total_weight()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(139)

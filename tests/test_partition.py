@@ -1,0 +1,55 @@
+"""Tests for block-partition helpers (repro.utils.partition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import block_bounds, block_size, owner_of, split_evenly
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert list(block_bounds(12, 4)) == [0, 3, 6, 9, 12]
+
+    def test_uneven_split_front_loaded(self):
+        assert list(block_bounds(10, 4)) == [0, 3, 6, 8, 10]
+
+    def test_more_pes_than_elements(self):
+        b = block_bounds(2, 5)
+        assert b[-1] == 2
+        assert list(np.diff(b)) == [1, 1, 0, 0, 0]
+
+    def test_zero_elements(self):
+        assert list(block_bounds(0, 3)) == [0, 0, 0, 0]
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            block_bounds(5, 0)
+
+    def test_block_size_matches_bounds(self):
+        for n, p in [(10, 3), (7, 7), (0, 2), (100, 9)]:
+            b = block_bounds(n, p)
+            for i in range(p):
+                assert block_size(n, p, i) == b[i + 1] - b[i]
+
+
+class TestOwnerOf:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 20))
+    def test_matches_searchsorted(self, n, p):
+        idx = np.arange(n)
+        b = block_bounds(n, p)
+        expect = np.searchsorted(b, idx, side="right") - 1
+        assert np.array_equal(owner_of(idx, n, p), expect)
+
+    def test_empty_queries(self):
+        assert len(owner_of(np.empty(0, dtype=np.int64), 10, 3)) == 0
+
+
+class TestSplitEvenly:
+    def test_roundtrip(self):
+        arr = np.arange(11)
+        parts = split_evenly(arr, 3)
+        assert [len(x) for x in parts] == [4, 4, 3]
+        assert np.array_equal(np.concatenate(parts), arr)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer (repro.analysis.plots)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.plots import ascii_plot, plot_results
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"a": [(4, 1.0), (16, 0.5), (64, 0.25)],
+                          "b": [(4, 2.0), (64, 2.0)]})
+        assert "o = a" in out and "x = b" in out
+        assert out.count("\n") > 10
+        assert "o" in out and "x" in out
+
+    def test_empty_series(self):
+        assert "no finite data" in ascii_plot({"a": []})
+
+    def test_non_finite_skipped(self):
+        out = ascii_plot({"a": [(4, float("nan")), (8, 1.0)]})
+        assert "o" in out
+
+    def test_monotone_series_slopes_down(self):
+        # Decreasing y: the glyph in the first column sits above the last.
+        out = ascii_plot({"a": [(1, 100.0), (1000, 1.0)]},
+                         width=20, height=10)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        first_col = next(r for r, line in enumerate(rows) if line[0] != " ")
+        last_col = next(r for r, line in enumerate(rows)
+                        if line[-1] != " ")
+        assert first_col < last_col
+
+    def test_collision_marker(self):
+        out = ascii_plot({"a": [(4, 1.0)], "b": [(4, 1.0)]},
+                         width=10, height=5)
+        assert "*" in out
+
+
+class TestPlotResults:
+    def test_from_experiment_results(self):
+        results = [
+            ExperimentResult("g", "alg", 4, 4, 1, 10, 1000, 0.5),
+            ExperimentResult("g", "alg", 16, 16, 1, 10, 1000, 0.2),
+            ExperimentResult("g", "other", 4, 4, 1, 10, 1000, 1.0),
+        ]
+        out = plot_results(results, value="elapsed")
+        assert "alg" in out and "other" in out
+
+    def test_oom_rows_ignored(self):
+        results = [
+            ExperimentResult("g", "alg", 4, 4, 1, 10, 1000, 0.5),
+            ExperimentResult("g", "alg", 16, 16, 1, 10, 1000, float("nan"),
+                             status="oom"),
+        ]
+        out = plot_results(results, value="elapsed")
+        assert "no finite data" not in out

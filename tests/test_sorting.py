@@ -1,0 +1,174 @@
+"""Tests for the distributed sorters (repro.sorting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import Comm, Machine
+from repro.sorting import (
+    HYPERCUBE_THRESHOLD,
+    is_globally_sorted,
+    is_locally_sorted,
+    local_lexsort,
+    rebalance_blocks,
+    sort_hypercube,
+    sort_rows,
+    sort_samplesort,
+)
+from repro.sorting.common import as_row_matrix
+
+
+def _multiset(parts):
+    rows = [x for x in parts if len(x)]
+    if not rows:
+        return []
+    cat = np.concatenate(rows)
+    return sorted(map(tuple, cat.tolist()))
+
+
+class TestHelpers:
+    def test_as_row_matrix_1d(self):
+        out = as_row_matrix(np.array([3, 1, 2]))
+        assert out.shape == (3, 1)
+
+    def test_as_row_matrix_empty_2d(self):
+        out = as_row_matrix(np.empty((0, 4), dtype=np.int64))
+        assert out.shape == (0, 4)
+
+    def test_as_row_matrix_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_row_matrix(np.zeros((2, 2, 2)))
+
+    def test_local_lexsort(self):
+        rows = np.array([[2, 1, 9], [1, 5, 0], [2, 0, 3], [1, 5, 0]])
+        out = local_lexsort(rows, 2)
+        assert is_locally_sorted(out, 2)
+        assert _multiset([out]) == _multiset([rows])
+
+    def test_is_globally_sorted_detects_boundary_violation(self):
+        a = np.array([[5, 0, 0]])
+        b = np.array([[4, 0, 0]])
+        assert not is_globally_sorted([a, b], 3)
+        assert is_globally_sorted([b, a], 3)
+
+    def test_is_locally_sorted_secondary_key(self):
+        rows = np.array([[1, 2], [1, 1]])
+        assert not is_locally_sorted(rows, 2)
+        assert is_locally_sorted(rows, 1)
+
+
+@pytest.mark.parametrize("method", ["hypercube", "samplesort", "auto"])
+class TestSorters:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 16])
+    @pytest.mark.parametrize("scale", [0, 3, 60, 900])
+    def test_sorts_and_preserves_multiset(self, method, p, scale):
+        rng = np.random.default_rng(p * 1000 + scale)
+        parts = [rng.integers(0, 50, (int(rng.integers(0, scale + 1)), 4))
+                 for _ in range(p)]
+        out = sort_rows(Comm(Machine(p)), [x.copy() for x in parts],
+                        n_key_cols=3, method=method)
+        assert is_globally_sorted(out, 3)
+        assert _multiset(out) == _multiset(parts)
+
+    def test_rebalanced_output(self, method):
+        rng = np.random.default_rng(0)
+        p = 7
+        parts = [rng.integers(0, 50, (int(rng.integers(0, 80)), 4))
+                 for _ in range(p)]
+        out = sort_rows(Comm(Machine(p)), parts, 3, method=method)
+        sizes = [len(x) for x in out]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_all_equal_keys(self, method):
+        p = 8
+        parts = [np.full((20, 4), 7, dtype=np.int64) for _ in range(p)]
+        out = sort_rows(Comm(Machine(p)), parts, 3, method=method)
+        assert sum(len(x) for x in out) == 160
+        assert is_globally_sorted(out, 3)
+
+    def test_payload_columns_travel_with_keys(self, method):
+        # Column 1 = key, column 2 = 2*key: the relation must survive.
+        rng = np.random.default_rng(1)
+        p = 4
+        parts = []
+        for _ in range(p):
+            k = rng.integers(0, 1000, 30)
+            parts.append(np.stack([k, 2 * k], axis=1))
+        out = sort_rows(Comm(Machine(p)), parts, 1, method=method)
+        for x in out:
+            assert np.array_equal(x[:, 1], 2 * x[:, 0])
+
+
+class TestDispatch:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            sort_rows(Comm(Machine(2)),
+                      [np.zeros((1, 2), dtype=np.int64)] * 2, 1,
+                      method="bogosort")
+
+    def test_auto_threshold(self):
+        assert HYPERCUBE_THRESHOLD == 512  # the paper's constant
+
+    def test_duplicate_heavy_input(self):
+        rng = np.random.default_rng(5)
+        p = 6
+        parts = [rng.integers(0, 3, (100, 2)) for _ in range(p)]
+        out = sort_rows(Comm(Machine(p)), parts, 2)
+        assert is_globally_sorted(out, 2)
+        assert _multiset(out) == _multiset(parts)
+
+
+class TestRebalance:
+    def test_preserves_order_and_balances(self):
+        p = 5
+        comm = Comm(Machine(p))
+        # Globally sorted but badly balanced parts.
+        parts = [np.arange(0, 40).reshape(-1, 1),
+                 np.empty((0, 1), dtype=np.int64),
+                 np.arange(40, 45).reshape(-1, 1),
+                 np.empty((0, 1), dtype=np.int64),
+                 np.arange(45, 47).reshape(-1, 1)]
+        out = rebalance_blocks(comm, parts)
+        assert is_globally_sorted(out, 1)
+        sizes = [len(x) for x in out]
+        assert max(sizes) - min(sizes) <= 1
+        assert np.array_equal(np.concatenate(out)[:, 0], np.arange(47))
+
+    def test_empty_input(self):
+        p = 3
+        out = rebalance_blocks(Comm(Machine(p)),
+                               [np.empty((0, 2), dtype=np.int64)] * p)
+        assert all(len(x) == 0 for x in out)
+
+
+class TestCostShape:
+    def test_hypercube_cheaper_for_tiny_inputs(self):
+        p = 32
+        rng = np.random.default_rng(2)
+        parts = [rng.integers(0, 100, (8, 3)) for _ in range(p)]
+        mh, ms = Machine(p), Machine(p)
+        sort_hypercube(Comm(mh), [x.copy() for x in parts], 3)
+        sort_samplesort(Comm(ms), [x.copy() for x in parts], 3)
+        assert mh.elapsed() < ms.elapsed()
+
+    def test_samplesort_cheaper_for_large_inputs(self):
+        p = 32
+        rng = np.random.default_rng(3)
+        parts = [rng.integers(0, 10 ** 6, (8192, 3)) for _ in range(p)]
+        mh, ms = Machine(p), Machine(p)
+        sort_hypercube(Comm(mh), [x.copy() for x in parts], 3)
+        sort_samplesort(Comm(ms), [x.copy() for x in parts], 3)
+        assert ms.elapsed() < mh.elapsed()
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 40), st.integers(0, 10 ** 6))
+    def test_sorted_and_multiset_preserved(self, p, max_rows, seed):
+        rng = np.random.default_rng(seed)
+        parts = [rng.integers(0, 20, (int(rng.integers(0, max_rows + 1)), 3))
+                 for _ in range(p)]
+        out = sort_rows(Comm(Machine(p)), [x.copy() for x in parts], 2)
+        assert is_globally_sorted(out, 2)
+        assert _multiset(out) == _multiset(parts)

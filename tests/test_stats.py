@@ -1,0 +1,84 @@
+"""Tests for instance statistics (repro.graphgen.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.dgraph import Edges
+from repro.graphgen import (
+    degree_gini,
+    gen_family,
+    gen_grid2d,
+    graph_statistics,
+    locality_fraction,
+)
+
+
+class TestDegreeGini:
+    def test_regular_is_zero(self):
+        assert degree_gini(np.full(100, 4)) == pytest.approx(0.0)
+
+    def test_single_hub_near_one(self):
+        deg = np.zeros(1000)
+        deg[0] = 10_000
+        assert degree_gini(deg) > 0.95
+
+    def test_empty(self):
+        assert degree_gini(np.empty(0)) == 0.0
+
+    def test_scale_invariant(self):
+        d = np.array([1, 2, 3, 4, 10])
+        assert degree_gini(d) == pytest.approx(degree_gini(d * 7))
+
+    def test_family_ordering(self):
+        """Grid < GNM < RMAT in degree skew (the paper's family taxonomy)."""
+        ginis = {}
+        for fam in ("2D-GRID", "GNM", "RMAT"):
+            g = gen_family(fam, 1024, 4096, seed=3)
+            deg = np.bincount(g.edges.u, minlength=g.n_vertices)
+            ginis[fam] = degree_gini(deg[deg > 0])
+        assert ginis["2D-GRID"] < ginis["GNM"] < ginis["RMAT"]
+
+
+class TestLocalityFraction:
+    def test_grid_is_local(self):
+        g = gen_grid2d(32, 32, seed=1)
+        assert locality_fraction(g.edges, 4) > 0.8
+
+    def test_gnm_is_nonlocal(self):
+        g = gen_family("GNM", 2048, 8192, seed=1)
+        assert locality_fraction(g.edges, 16) < 0.2
+
+    def test_single_part_fully_local(self):
+        g = gen_family("GNM", 256, 1024, seed=1)
+        assert locality_fraction(g.edges, 1) == 1.0
+
+    def test_empty_edges(self):
+        assert locality_fraction(Edges.empty(), 4) == 1.0
+
+    def test_more_parts_less_local(self):
+        g = gen_grid2d(32, 32, seed=1)
+        f4 = locality_fraction(g.edges, 4)
+        f64 = locality_fraction(g.edges, 64)
+        assert f64 < f4
+
+
+class TestGraphStatistics:
+    def test_from_generated_graph(self):
+        g = gen_family("RMAT", 512, 2048, seed=2)
+        s = graph_statistics(g)
+        assert s.n_vertices == g.n_vertices
+        assert s.m_undirected == g.n_undirected_edges
+        assert 1 <= s.weight_min <= s.weight_max < 255
+        assert "gini" in s.summary()
+
+    def test_from_raw_edges_requires_n(self):
+        e = Edges(np.array([0, 1]), np.array([1, 0]), np.array([3, 3]))
+        with pytest.raises(ValueError):
+            graph_statistics(e)
+        s = graph_statistics(e, n_vertices=2)
+        assert s.m_undirected == 1
+
+    def test_empty_graph(self):
+        s = graph_statistics(Edges.empty(), n_vertices=5)
+        assert s.m_undirected == 0
+        assert s.locality_fraction == 1.0

@@ -1,0 +1,70 @@
+"""Tests for the phase-timer helpers (repro.simmpi.timers)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Machine
+from repro.simmpi.timers import (
+    PHASES,
+    PhaseBreakdown,
+    collect_breakdown,
+    format_table,
+    normalise,
+)
+
+
+class TestCollectBreakdown:
+    def test_snapshot_from_machine(self):
+        m = Machine(3)
+        with m.phase("min_edges"):
+            m.charge(np.array([1.0, 2.0, 0.5]))
+        with m.phase("filter"):
+            m.charge(1.0)
+        bd = collect_breakdown(m, "boruvka-1")
+        assert bd.algorithm == "boruvka-1"
+        assert bd.times["min_edges"] == pytest.approx(2.0)
+        assert bd.times["filter"] == pytest.approx(1.0)
+
+    def test_snapshot_is_independent_copy(self):
+        m = Machine(1)
+        with m.phase("min_edges"):
+            m.charge(1.0)
+        bd = collect_breakdown(m, "x")
+        with m.phase("min_edges"):
+            m.charge(5.0)
+        assert bd.times["min_edges"] == pytest.approx(1.0)
+
+
+class TestCanonicalPhases:
+    def test_algorithm_phases_are_canonical(self):
+        """Every phase name the drivers use is in the Fig. 6 list."""
+        from repro.analysis import run_algorithm
+        from repro.core import BoruvkaConfig, FilterConfig
+        from repro.graphgen import gen_gnm
+
+        g = gen_gnm(256, 2048, seed=30)
+        for alg, cfg in (("boruvka", BoruvkaConfig(base_case_min=32)),
+                         ("filter-boruvka",
+                          FilterConfig(boruvka=BoruvkaConfig(
+                              base_case_min=32)))):
+            r = run_algorithm(g, alg, 8, config=cfg)
+            assert set(r.phase_times) <= set(PHASES), (alg, r.phase_times)
+
+    def test_breakdown_filled_covers_all(self):
+        bd = PhaseBreakdown("a", {"filter": 1.0})
+        assert list(bd.filled()) == list(PHASES)
+
+
+class TestNormaliseEdgeCases:
+    def test_empty_sequence(self):
+        assert normalise([]) == []
+
+    def test_single_breakdown_normalises_to_one(self):
+        out = normalise([PhaseBreakdown("a", {"min_edges": 4.0})])
+        assert out[0].total == pytest.approx(1.0)
+
+    def test_format_table_skips_all_zero_phases(self):
+        t = format_table([PhaseBreakdown("a", {"min_edges": 1.0,
+                                               "filter": 0.0})])
+        assert "min_edges" in t
+        assert "relabel" not in t

@@ -1,0 +1,112 @@
+"""Tests for communication tracing (repro.simmpi.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoruvkaConfig, distributed_boruvka
+from repro.simmpi import (
+    Comm,
+    CommTrace,
+    Machine,
+    alltoallv_direct,
+    alltoallv_grid,
+    comm_heatmap,
+    hotspot_summary,
+)
+
+from helpers import random_simple_graph
+
+
+def _uniform_send(p, rows_per_pair=2):
+    bufs = [np.zeros((rows_per_pair * p, 1), dtype=np.int64)
+            for _ in range(p)]
+    cnts = [np.full(p, rows_per_pair, dtype=np.int64) for _ in range(p)]
+    return bufs, cnts
+
+
+class TestCommTrace:
+    def test_disabled_by_default(self):
+        m = Machine(4)
+        assert m.trace is None
+        bufs, cnts = _uniform_send(4)
+        alltoallv_direct(Comm(m), bufs, cnts)  # must not crash
+
+    def test_direct_records_exact_matrix(self):
+        p = 4
+        m = Machine(p, trace=True)
+        bufs, cnts = _uniform_send(p, rows_per_pair=3)
+        alltoallv_direct(Comm(m), bufs, cnts)
+        assert m.trace.n_exchanges == 1
+        assert np.allclose(m.trace.matrix, 3 * 8)  # 3 rows x 8 bytes
+
+    def test_totals_match_bytes_communicated(self):
+        for variant in (alltoallv_direct, alltoallv_grid):
+            p = 9
+            m = Machine(p, trace=True)
+            bufs, cnts = _uniform_send(p)
+            variant(Comm(m), bufs, cnts)
+            assert m.trace.total_bytes() == pytest.approx(
+                m.bytes_communicated)
+
+    def test_grid_traffic_stays_in_rows_and_columns(self):
+        p = 16
+        m = Machine(p, trace=True)
+        bufs, cnts = _uniform_send(p)
+        alltoallv_grid(Comm(m), bufs, cnts)
+        c = 4  # sqrt(16)
+        for i in range(p):
+            for j in range(p):
+                if m.trace.matrix[i, j] > 0:
+                    same_col = (i % c) == (j % c)
+                    same_row = (i // c) == (j // c)
+                    assert same_col or same_row, (i, j)
+
+    def test_full_run_traced(self, rng):
+        g = random_simple_graph(rng, 50, 250)
+        from repro.dgraph import DistGraph
+
+        m = Machine(6, trace=True)
+        dg = DistGraph.from_global_edges(m, g)
+        distributed_boruvka(dg, BoruvkaConfig(base_case_min=16))
+        assert m.trace.n_exchanges > 0
+        rel_err = abs(m.trace.total_bytes() - m.bytes_communicated) / \
+            max(m.bytes_communicated, 1)
+        assert rel_err < 0.05
+
+    def test_imbalance_metric(self):
+        t = CommTrace(2)
+        t.record(np.array([[0.0, 100.0], [0.0, 0.0]]))
+        assert t.imbalance() == pytest.approx(2.0)  # one PE sends all
+
+    def test_imbalance_of_empty_trace(self):
+        assert CommTrace(3).imbalance() == 1.0
+
+
+class TestRendering:
+    def test_heatmap_renders(self):
+        t = CommTrace(4)
+        t.record(np.full((4, 4), 10.0))
+        out = comm_heatmap(t)
+        assert "total" in out and out.count("|") >= 8
+
+    def test_heatmap_bins_large_machines(self):
+        t = CommTrace(128)
+        t.record(np.ones((128, 128)))
+        out = comm_heatmap(t, max_cells=16)
+        assert len(out.splitlines()) < 25
+
+    def test_heatmap_empty(self):
+        assert "no traffic" in comm_heatmap(CommTrace(4))
+
+    def test_hotspots(self):
+        t = CommTrace(4)
+        m = np.zeros((4, 4))
+        m[2, 1] = 999.0
+        t.record(m)
+        out = hotspot_summary(t)
+        assert "PE2" in out and "PE2->PE1" in out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(167)

@@ -1,0 +1,109 @@
+"""Tests for union-find (repro.seq.union_find)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq import UnionFind
+
+
+class TestBasics:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.n_components == 4
+
+    def test_union_idempotent(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 4
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_size(self):
+        uf = UnionFind(0)
+        assert len(uf) == 0
+
+
+class TestBulk:
+    def test_find_many_matches_find(self):
+        rng = np.random.default_rng(0)
+        uf = UnionFind(100)
+        for _ in range(80):
+            uf.union(int(rng.integers(0, 100)), int(rng.integers(0, 100)))
+        xs = rng.integers(0, 100, 500)
+        singles = np.array([uf.find(int(x)) for x in xs])
+        assert np.array_equal(uf.find_many(xs), singles)
+
+    def test_union_edges_matches_sequential(self):
+        rng = np.random.default_rng(1)
+        us = rng.integers(0, 30, 60)
+        vs = rng.integers(0, 30, 60)
+        uf1, uf2 = UnionFind(30), UnionFind(30)
+        mask = uf1.union_edges(us, vs)
+        expect = np.array([uf2.union(int(a), int(b))
+                           for a, b in zip(us, vs)])
+        assert np.array_equal(mask, expect)
+
+    def test_components_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        comp = uf.components()
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert comp[4] != comp[5]
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                    max_size=60))
+    def test_matches_naive_partition(self, pairs):
+        """Union-find agrees with a naive label-propagation partition."""
+        n = 20
+        uf = UnionFind(n)
+        naive = list(range(n))
+
+        def naive_merge(a, b):
+            la, lb = naive[a], naive[b]
+            if la == lb:
+                return
+            for i in range(n):
+                if naive[i] == lb:
+                    naive[i] = la
+
+        for a, b in pairs:
+            uf.union(a, b)
+            naive_merge(a, b)
+        for i in range(n):
+            for j in range(n):
+                assert uf.connected(i, j) == (naive[i] == naive[j])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)),
+                    max_size=100))
+    def test_component_count_invariant(self, pairs):
+        uf = UnionFind(50)
+        merges = sum(1 for a, b in pairs if uf.union(a, b))
+        assert uf.n_components == 50 - merges
+        assert len(np.unique(uf.components())) == uf.n_components

@@ -1,0 +1,96 @@
+"""Tests for the 7-bit varint delta encoding (repro.utils.varint)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import CompressedEdgeList, decode_varints, encode_varints
+
+
+class TestVarints:
+    def test_roundtrip_known_values(self):
+        vals = np.array([0, 1, 127, 128, 129, 16383, 16384,
+                         2 ** 32, 2 ** 63 - 1, 2 ** 64 - 1],
+                        dtype=np.uint64)
+        assert np.array_equal(decode_varints(encode_varints(vals)), vals)
+
+    def test_empty(self):
+        assert len(encode_varints(np.empty(0, dtype=np.uint64))) == 0
+        assert len(decode_varints(np.empty(0, dtype=np.uint8))) == 0
+
+    def test_small_values_one_byte(self):
+        enc = encode_varints(np.arange(128, dtype=np.uint64))
+        assert len(enc) == 128
+
+    def test_continuation_bits(self):
+        enc = encode_varints(np.array([300], dtype=np.uint64))
+        assert len(enc) == 2
+        assert enc[0] & 0x80  # continuation
+        assert not (enc[1] & 0x80)  # terminator
+
+    def test_truncated_stream_rejected(self):
+        enc = encode_varints(np.array([300], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            decode_varints(enc[:-1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 64 - 1), max_size=200))
+    def test_roundtrip_property(self, values):
+        vals = np.array(values, dtype=np.uint64)
+        assert np.array_equal(decode_varints(encode_varints(vals)), vals)
+
+
+class TestCompressedEdgeList:
+    def test_roundtrip(self, rng):
+        src = np.sort(rng.integers(0, 10 ** 6, 500))
+        dst = rng.integers(0, 10 ** 6, 500)
+        c = CompressedEdgeList(src, dst)
+        s, d = c.decode()
+        assert np.array_equal(s, src)
+        assert np.array_equal(d, dst)
+
+    def test_compresses_sorted_lists(self, rng):
+        src = np.sort(rng.integers(0, 10 ** 4, 2000))
+        dst = rng.integers(0, 10 ** 4, 2000)
+        c = CompressedEdgeList(src, dst)
+        assert c.nbytes < (src.nbytes + dst.nbytes) / 2
+
+    def test_lookup(self, rng):
+        src = np.sort(rng.integers(0, 1000, 100))
+        dst = rng.integers(0, 1000, 100)
+        c = CompressedEdgeList(src, dst)
+        idx = rng.integers(0, 100, 17)
+        s, d = c.lookup(idx)
+        assert np.array_equal(s, src[idx])
+        assert np.array_equal(d, dst[idx])
+
+    def test_unsorted_src_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedEdgeList(np.array([5, 3]), np.array([0, 0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedEdgeList(np.array([1, 2]), np.array([0]))
+
+    def test_empty(self):
+        c = CompressedEdgeList(np.empty(0, dtype=np.int64),
+                               np.empty(0, dtype=np.int64))
+        s, d = c.decode()
+        assert len(s) == 0 and len(d) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10 ** 9),
+                              st.integers(0, 10 ** 9)), max_size=100))
+    def test_roundtrip_property(self, pairs):
+        pairs.sort()
+        src = np.array([p[0] for p in pairs], dtype=np.int64)
+        dst = np.array([p[1] for p in pairs], dtype=np.int64)
+        c = CompressedEdgeList(src, dst)
+        s, d = c.decode()
+        assert np.array_equal(s, src) and np.array_equal(d, dst)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
