@@ -69,7 +69,11 @@ def cached_graph(kind: str, **kwargs):
     ).hexdigest()[:16]
     path = CACHE_DIR / f"{kind.replace('/', '_')}-{key}.npz"
     if path.exists():
-        return load_npz(path)
+        try:
+            return load_npz(path)
+        except Exception:
+            # Unreadable cache entry (truncated / corrupted): regenerate.
+            path.unlink(missing_ok=True)
     if kind == "family":
         g = gen_family(kwargs["family"], kwargs["n"], kwargs["m"],
                        seed=kwargs.get("seed", 0))

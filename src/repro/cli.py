@@ -23,6 +23,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -54,6 +55,9 @@ def _add_mst(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--no-preprocessing", action="store_true")
     p.add_argument("--verify", action="store_true",
                    help="check against sequential Kruskal")
+    p.add_argument("--simsan", action="store_true",
+                   help="run under the runtime invariant sanitizer "
+                        "(see docs/sanitizer.md)")
     p.add_argument("--output", help="save the MSF edge list as .npz")
 
 
@@ -61,6 +65,8 @@ def _add_cc(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("cc", help="count connected components")
     p.add_argument("graph", help="instance .npz")
     p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--simsan", action="store_true",
+                   help="run under the runtime invariant sanitizer")
 
 
 def _add_sweep(sub: argparse._SubParsersAction) -> None:
@@ -77,6 +83,8 @@ def _add_sweep(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--strong", action="store_true",
                    help="strong scaling (fixed size = per-core x max cores)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--simsan", action="store_true",
+                   help="run under the runtime invariant sanitizer")
 
 
 def _add_info(sub: argparse._SubParsersAction) -> None:
@@ -110,6 +118,10 @@ def main(argv: list[str] | None = None) -> int:
     _add_sweep(sub)
     _add_info(sub)
     args = parser.parse_args(argv)
+    if getattr(args, "simsan", False):
+        # Machines default their sanitize= argument from this variable, so
+        # every machine the subcommand creates runs under the checker.
+        os.environ["REPRO_SIMSAN"] = "1"
     return {
         "gen": _cmd_gen,
         "mst": _cmd_mst,

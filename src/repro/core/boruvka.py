@@ -128,6 +128,7 @@ def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
             relabelled = relabel(graph, vids, labels, tables, run)
         with machine.phase("redistribute"):
             graph = redistribute(run, machine, relabelled)
+        machine.checkpoint(f"boruvka_round_{run.rounds}")
         run.rounds += 1
     else:
         raise RuntimeError("distributed Borůvka exceeded max_rounds")

@@ -196,6 +196,7 @@ def distributed_filter_boruvka(
             filtered = _filter_heavy(machine, heavy_graph, P, run)
             survivors_graph = redistribute(run, machine, filtered)
             m_surv = survivors_graph.global_edge_count()
+        machine.checkpoint(f"filter_depth_{depth}")
         if m_surv == 0:
             return None
         if (depth > 0 and m_surv < cfg.merge_back_fraction * m

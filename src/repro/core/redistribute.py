@@ -77,4 +77,9 @@ def redistribute(
     machine.charge_scan(np.array([len(x) for x in sorted_parts]))
     deduped = _drop_boundary_duplicates(run, deduped)
     parts = [Edges.from_matrix(x) for x in deduped]
-    return DistGraph(machine, parts, check=check)
+    graph = DistGraph(machine, parts, check=check)
+    if machine.sanitizer is not None:
+        # Invariant 3: the rebuilt structure must be globally lex-sorted
+        # with agreeing replicated metadata after *every* redistribute.
+        machine.sanitizer.check_redistributed(graph)
+    return graph

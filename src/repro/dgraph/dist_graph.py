@@ -54,6 +54,11 @@ class DistGraph:
         self.machine = machine
         self.comm = Comm(machine)
         self.parts: List[Edges] = list(parts)
+        if machine.sanitizer is not None:
+            # Register every part's arrays as PE-owned state: from here on
+            # they are write-protected outside machine.on_pe(i) contexts.
+            for i, part in enumerate(self.parts):
+                machine.sanitizer.adopt_edges(i, part)
         if check:
             self._check_local_sorted()
         self.rebuild_min_keys()

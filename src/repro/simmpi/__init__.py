@@ -7,8 +7,16 @@ between per-PE buffers and charges per-PE clocks with the paper's
 """
 
 from .costmodel import CostModel
-from .machine import Machine, SimulatedOutOfMemory
+from .machine import Machine, SimulatedOutOfMemory, simsan_env_enabled
 from .collectives import Comm
+from .sanitizer import (
+    CostAccountingViolation,
+    DistributionViolation,
+    PEArray,
+    Sanitizer,
+    SanitizerViolation,
+    SortednessViolation,
+)
 from .alltoall import (
     ALLTOALL_METHODS,
     GRID_DISPATCH_THRESHOLD_BYTES,
@@ -27,7 +35,14 @@ __all__ = [
     "CostModel",
     "Machine",
     "SimulatedOutOfMemory",
+    "simsan_env_enabled",
     "Comm",
+    "Sanitizer",
+    "SanitizerViolation",
+    "DistributionViolation",
+    "CostAccountingViolation",
+    "SortednessViolation",
+    "PEArray",
     "ALLTOALL_METHODS",
     "GRID_DISPATCH_THRESHOLD_BYTES",
     "alltoallv_auto",

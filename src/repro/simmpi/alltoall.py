@@ -118,12 +118,22 @@ def _move(sendbufs: Sequence[np.ndarray], counts: np.ndarray
 
 
 def _record_trace(comm: Comm, counts: np.ndarray, row_bytes: float) -> None:
-    """Accumulate one exchange into the machine's communication trace."""
-    tr = comm.machine.trace
+    """Accumulate one exchange into the machine's communication trace.
+
+    The sanitizer keeps its own shadow of the same per-pair matrix (fed
+    unconditionally when attached) so it can cross-check
+    ``bytes_communicated`` without changing tracing semantics.
+    """
+    m = comm.machine
+    tr, san = m.trace, m.sanitizer
+    if tr is None and san is None:
+        return
+    sub = np.asarray(counts, dtype=np.float64) * row_bytes
     if tr is not None:
-        sub = np.asarray(counts, dtype=np.float64) * row_bytes
         tr.matrix[np.ix_(comm.ranks, comm.ranks)] += sub
         tr.n_exchanges += 1
+    if san is not None:
+        san.on_comm(comm.ranks, sub)
 
 
 def alltoallv_direct(
@@ -254,6 +264,15 @@ def alltoallv_grid(
     _record_trace(comm, phase2_counts, row_bytes)
     comm._sync_and_charge(cost2)
 
+    san = comm.machine.sanitizer
+    if san is not None:
+        san.check_two_level(
+            size,
+            int(counts.sum()),
+            [int(phase1_counts.sum()), int(phase2_counts.sum())],
+            [r, group2],
+        )
+
     # ---- Restore the MPI_Alltoallv contract: rows source-major. ----
     recvbufs: List[np.ndarray] = []
     recvcounts: List[np.ndarray] = []
@@ -322,7 +341,7 @@ def alltoallv_hypercube(
         cost = (cm.c_call + cm.alpha
                 + (cm.beta + cm.beta_sw) * (sent_bytes + recv_bytes))
         comm.machine.bytes_communicated += float(sent_bytes.sum())
-        if comm.machine.trace is not None:
+        if comm.machine.trace is not None or comm.machine.sanitizer is not None:
             hop = np.zeros((size, size))
             hop[np.arange(size), np.arange(size) ^ bit] = sent_bytes
             _record_trace(comm, hop, 1.0)

@@ -82,8 +82,13 @@ class Comm:
         """Barrier-synchronise participants, then charge per-rank costs."""
         m = self.machine
         m.n_collectives += 1
+        san = m.sanitizer
+        if san is not None:
+            san.pre_collective(self.ranks, per_rank_cost)
         clocks = m.clock[self.ranks]
         m.clock[self.ranks] = clocks.max() + per_rank_cost
+        if san is not None:
+            san.post_collective(self.ranks)
 
     def sub(self, local_ranks: Sequence[int]) -> "Comm":
         """Sub-communicator from rank indices *within this communicator*."""

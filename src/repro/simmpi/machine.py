@@ -29,12 +29,19 @@ The machine also provides:
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+import os
+from contextlib import contextmanager, nullcontext
 from typing import Dict, Iterator, Optional
 
 import numpy as np
 
 from .costmodel import CostModel
+
+
+def simsan_env_enabled() -> bool:
+    """Whether the ``REPRO_SIMSAN`` environment variable requests simsan."""
+    value = os.environ.get("REPRO_SIMSAN", "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
 
 
 class SimulatedOutOfMemory(RuntimeError):
@@ -72,6 +79,12 @@ class Machine:
         Optional per-PE memory budget.  ``None`` disables accounting.
     seed:
         Base seed for the per-PE RNG streams.
+    trace:
+        Record a per-pair communication matrix (see repro.simmpi.trace).
+    sanitize:
+        Attach the runtime invariant checker (see repro.simmpi.sanitizer).
+        ``None`` (the default) defers to the ``REPRO_SIMSAN`` environment
+        variable; pass ``True``/``False`` to force it on/off.
     """
 
     def __init__(
@@ -82,6 +95,7 @@ class Machine:
         memory_limit_bytes: Optional[float] = None,
         seed: int = 0,
         trace: bool = False,
+        sanitize: Optional[bool] = None,
     ):
         if n_procs < 1:
             raise ValueError(f"n_procs must be >= 1, got {n_procs}")
@@ -112,6 +126,36 @@ class Machine:
             self.trace: Optional["CommTrace"] = CommTrace(self.n_procs)
         else:
             self.trace = None
+        if sanitize is None:
+            sanitize = simsan_env_enabled()
+        if sanitize:
+            from .sanitizer import Sanitizer
+
+            self.sanitizer: Optional["Sanitizer"] = Sanitizer(self)
+        else:
+            self.sanitizer = None
+
+    @property
+    def sanitizing(self) -> bool:
+        """Whether the runtime invariant checker is attached."""
+        return self.sanitizer is not None
+
+    def on_pe(self, rank: int):
+        """Context manager executing the block as PE ``rank``.
+
+        Under the sanitizer, PE ``rank``'s registered arrays become
+        writeable for the duration and writes to any *other* PE's arrays
+        raise :class:`~repro.simmpi.sanitizer.DistributionViolation`.
+        Without the sanitizer this is a no-op context.
+        """
+        if self.sanitizer is None:
+            return nullcontext()
+        return self.sanitizer.on_pe(rank)
+
+    def checkpoint(self, label: str = "") -> None:
+        """Sanitizer checkpoint: assert per-PE clock monotonicity here."""
+        if self.sanitizer is not None:
+            self.sanitizer.checkpoint(label)
 
     def record_comm(self, counts_matrix: np.ndarray, row_bytes: float) -> None:
         """Record one exchange's per-pair volume when tracing is enabled."""
@@ -132,13 +176,23 @@ class Machine:
         return float(self.clock.max())
 
     def reset(self) -> None:
-        """Zero all clocks, phase timers and diagnostics."""
+        """Zero all clocks, phase timers, diagnostics and RNG streams.
+
+        After a reset the machine reproduces a run bit-for-bit: the per-PE
+        RNG cache is dropped so :meth:`pe_rng` hands out fresh streams from
+        the original seed again.
+        """
         self.clock[:] = 0.0
         self.phase_times.clear()
         self.phase_times_per_pe.clear()
         self._phase_stack.clear()
         self.bytes_communicated = 0.0
         self.n_collectives = 0
+        self._rngs.clear()
+        if self.trace is not None:
+            self.trace.reset()
+        if self.sanitizer is not None:
+            self.sanitizer.reset()
 
     def pe_rng(self, pe: int) -> np.random.Generator:
         """Deterministic per-PE random generator (stable across calls)."""
@@ -157,6 +211,8 @@ class Machine:
         ``ranks`` restricts the charge to a PE subset (used by sub-group
         collectives); by default all PEs are charged.
         """
+        if self.sanitizer is not None:
+            self.sanitizer.on_charge(seconds, ranks)
         if ranks is None:
             self.clock += seconds
         else:

@@ -92,6 +92,7 @@ def alltoallv_multilevel(
 
     my_coords = _coords(np.arange(size), sides)
 
+    hop_rows: List[int] = []
     for k in range(d):
         # Hop k: every row moves to the PE whose coordinates agree with the
         # destination on dims 0..k and with the current holder on dims k+1..
@@ -136,6 +137,11 @@ def alltoallv_multilevel(
 
         _record_trace(comm, hop_counts, row_bytes)
         comm._sync_and_charge(cost)
+        hop_rows.append(int(hop_counts.sum()))
+
+    san = comm.machine.sanitizer
+    if san is not None:
+        san.check_multilevel(size, d, int(counts.sum()), hop_rows, sides)
 
     recvbufs: List[np.ndarray] = []
     recvcounts: List[np.ndarray] = []

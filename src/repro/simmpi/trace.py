@@ -31,6 +31,11 @@ class CommTrace:
         self.matrix += bytes_matrix
         self.n_exchanges += 1
 
+    def reset(self) -> None:
+        """Forget all recorded traffic (mirrors ``Machine.reset``)."""
+        self.matrix[:] = 0.0
+        self.n_exchanges = 0
+
     # ------------------------------------------------------------------
     def total_bytes(self) -> float:
         """All bytes recorded across all exchanges."""

@@ -1,7 +1,54 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and simsan / hypothesis wiring."""
+
+import os
 
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings as hyp_settings
+
+    # "quick" keeps the property suites inside the tier-1 time budget;
+    # "deep" (REPRO_HYPOTHESIS_PROFILE=deep, typically with `-m slow`)
+    # explores far more cases for local soak runs.
+    hyp_settings.register_profile(
+        "quick", max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.filter_too_much,
+                               HealthCheck.data_too_large])
+    hyp_settings.register_profile(
+        "deep", max_examples=150, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.filter_too_much,
+                               HealthCheck.data_too_large])
+    hyp_settings.load_profile(
+        os.environ.get("REPRO_HYPOTHESIS_PROFILE", "quick"))
+except ImportError:  # pragma: no cover - hypothesis ships with the toolchain
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--simsan", choices=("on", "off"), default="on",
+        help="run the suite under the simmpi runtime sanitizer "
+             "(default: on; benchmarks always run with it off)")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _simsan_mode(request):
+    """Propagate the --simsan option to every Machine via REPRO_SIMSAN.
+
+    Machines created with an explicit ``sanitize=`` argument are unaffected,
+    so the adversarial sanitizer tests stay meaningful under ``--simsan=off``.
+    """
+    mode = request.config.getoption("--simsan")
+    old = os.environ.get("REPRO_SIMSAN")
+    os.environ["REPRO_SIMSAN"] = "1" if mode == "on" else "0"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_SIMSAN", None)
+    else:
+        os.environ["REPRO_SIMSAN"] = old
 
 
 @pytest.fixture

@@ -4,16 +4,7 @@ failure injection (the checks DESIGN.md Section 4 promises)."""
 import numpy as np
 import pytest
 
-from repro.core import (
-    BoruvkaConfig,
-    MSTRun,
-    contract_components,
-    distributed_boruvka,
-    exchange_labels,
-    min_edges,
-    relabel,
-)
-from repro.core.labels import GhostTable
+from repro.core import BoruvkaConfig, distributed_boruvka
 from repro.dgraph import DistGraph
 from repro.simmpi import Machine
 
@@ -73,44 +64,9 @@ class TestCostAccounting:
         assert len(set(times.values())) > 1  # costs genuinely differ
 
 
-class TestFailureInjection:
-    def test_corrupt_ghost_table_detected(self, rng):
-        """A ghost vertex whose label never arrived must raise, not corrupt."""
-        g = random_simple_graph(rng, 50, 250)
-        machine = Machine(5)
-        dg = DistGraph.from_global_edges(machine, g)
-        run = MSTRun(machine, BoruvkaConfig())
-        chosen = min_edges(dg)
-        labels = contract_components(dg, chosen, run)
-        vids = [c.vids for c in chosen]
-        tables = exchange_labels(dg, vids, labels, run)
-        # Drop a ghost entry from the first non-empty table.
-        victim = next(i for i, t in enumerate(tables) if len(t.ghosts))
-        broken = GhostTable(tables[victim].ghosts[1:],
-                            tables[victim].labels[1:])
-        # Only a problem if the dropped ghost is actually referenced.
-        dropped = int(tables[victim].ghosts[0])
-        part = dg.parts[victim]
-        if dropped not in part.v:
-            pytest.skip("dropped ghost not referenced by this part")
-        tables[victim] = broken
-        with pytest.raises(RuntimeError, match="ghost labels missing"):
-            relabel(dg, vids, labels, tables, run)
-
-    def test_query_for_unknown_vertex_detected(self, rng):
-        """Pointer doubling queries for non-resident vertices must raise."""
-        g = random_simple_graph(rng, 50, 250)
-        machine = Machine(5)
-        dg = DistGraph.from_global_edges(machine, g)
-        run = MSTRun(machine, BoruvkaConfig())
-        chosen = min_edges(dg)
-        # Corrupt one chosen edge's endpoint to a non-existent vertex.
-        victim = next(i for i, c in enumerate(chosen)
-                      if len(c) and not c.shared.all())
-        k = int(np.flatnonzero(~chosen[victim].shared)[0])
-        chosen[victim].to[k] = 10 ** 9
-        with pytest.raises(RuntimeError):
-            contract_components(dg, chosen, run)
+# Failure-injection tests (corrupted ghost tables, bogus pointer-doubling
+# queries, cross-PE state corruption) live in tests/test_sanitizer.py: the
+# runtime sanitizer now owns those checks.
 
 
 class TestDeterminismAcrossMethods:

@@ -1,0 +1,123 @@
+"""Property-based differential tests (DESIGN invariant 1).
+
+Random graphs from every generator family, distributed over random machine
+shapes and algorithm configurations, must yield the same MSF weight and
+component structure as sequential Kruskal -- for distributed Borůvka,
+Filter-Borůvka and both competitor reimplementations.  The whole layer runs
+under the runtime sanitizer (``sanitize=True`` explicitly, so it holds even
+with ``--simsan=off``), making every example also a distribution-discipline
+and cost-accounting check.
+
+The default ("quick") hypothesis profile keeps this inside the tier-1 time
+budget; the ``slow``-marked soak tests and the ``deep`` profile
+(``REPRO_HYPOTHESIS_PROFILE=deep pytest -m slow``) explore much further.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.competitors import awerbuch_shiloach_msf, mnd_mst
+from repro.core import (
+    BoruvkaConfig,
+    FilterConfig,
+    distributed_boruvka,
+    distributed_filter_boruvka,
+)
+from repro.dgraph import DistGraph
+from repro.graphgen import FAMILIES, gen_family
+from repro.seq import msf_weight, spans_same_components
+from repro.simmpi import Machine
+
+DEEP_EXAMPLES = int(os.environ.get("REPRO_DEEP_EXAMPLES", "60"))
+
+
+@st.composite
+def instances(draw, max_n=120):
+    """A generated graph plus a random machine shape."""
+    family = draw(st.sampled_from(FAMILIES))
+    n = draw(st.integers(16, max_n))
+    m = draw(st.integers(n // 2, 4 * n))
+    seed = draw(st.integers(0, 2 ** 16))
+    p = draw(st.integers(1, 8))
+    threads = draw(st.sampled_from([1, 2, 8]))
+    return gen_family(family, n, m, seed=seed), p, threads
+
+
+@st.composite
+def boruvka_configs(draw):
+    return BoruvkaConfig(
+        alltoall=draw(st.sampled_from(
+            ["auto", "direct", "grid", "grid3", "hypercube"])),
+        sorter=draw(st.sampled_from(["auto", "hypercube", "samplesort"])),
+        local_preprocessing=draw(st.booleans()),
+        base_case_min=draw(st.sampled_from([8, 64, 512])),
+    )
+
+
+def check_against_kruskal(algo, graph, p, threads, cfg=None):
+    """Run ``algo`` distributed and compare with sequential Kruskal."""
+    machine = Machine(p, threads=threads, sanitize=True)
+    dg = graph.distribute(machine)
+    result = algo(dg, cfg) if cfg is not None else algo(dg)
+    ref_weight = msf_weight(graph.edges, graph.n_vertices)
+    assert result.total_weight == ref_weight, (
+        f"{algo.__name__} weight {result.total_weight} != Kruskal "
+        f"{ref_weight} (p={p}, threads={threads}, cfg={cfg})")
+    msf = result.msf_edges()
+    assert spans_same_components(msf, graph.edges, graph.n_vertices), (
+        f"{algo.__name__} forest spans different components "
+        f"(p={p}, threads={threads}, cfg={cfg})")
+
+
+class TestDifferential:
+    @given(inst=instances(), cfg=boruvka_configs())
+    def test_boruvka_matches_kruskal(self, inst, cfg):
+        graph, p, threads = inst
+        check_against_kruskal(distributed_boruvka, graph, p, threads, cfg)
+
+    @given(inst=instances(), inner=boruvka_configs(),
+           min_epp=st.sampled_from([8, 64, 256]))
+    def test_filter_boruvka_matches_kruskal(self, inst, inner, min_epp):
+        graph, p, threads = inst
+        cfg = FilterConfig(boruvka=inner, min_edges_per_proc=min_epp)
+        check_against_kruskal(distributed_filter_boruvka, graph, p, threads,
+                              cfg)
+
+    @given(inst=instances(max_n=80))
+    def test_awerbuch_shiloach_matches_kruskal(self, inst):
+        graph, p, threads = inst
+        check_against_kruskal(awerbuch_shiloach_msf, graph, p, threads)
+
+    @given(inst=instances(max_n=80))
+    def test_mnd_matches_kruskal(self, inst):
+        graph, p, threads = inst
+        check_against_kruskal(mnd_mst, graph, p, threads)
+
+
+@pytest.mark.slow
+class TestDifferentialDeep:
+    """Soak variants: bigger graphs, more examples (pytest -m slow)."""
+
+    @settings(max_examples=DEEP_EXAMPLES, deadline=None)
+    @given(inst=instances(max_n=400), cfg=boruvka_configs())
+    def test_boruvka_matches_kruskal_deep(self, inst, cfg):
+        graph, p, threads = inst
+        check_against_kruskal(distributed_boruvka, graph, p, threads, cfg)
+
+    @settings(max_examples=DEEP_EXAMPLES, deadline=None)
+    @given(inst=instances(max_n=400),
+           min_epp=st.sampled_from([8, 64, 1000]))
+    def test_filter_boruvka_matches_kruskal_deep(self, inst, min_epp):
+        graph, p, threads = inst
+        check_against_kruskal(distributed_filter_boruvka, graph, p, threads,
+                              FilterConfig(min_edges_per_proc=min_epp))
+
+    @settings(max_examples=DEEP_EXAMPLES, deadline=None)
+    @given(inst=instances(max_n=250),
+           algo=st.sampled_from([awerbuch_shiloach_msf, mnd_mst]))
+    def test_competitors_match_kruskal_deep(self, inst, algo):
+        graph, p, threads = inst
+        check_against_kruskal(algo, graph, p, threads)
