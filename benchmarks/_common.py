@@ -18,10 +18,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis import env_max_cores, env_scale
 from repro.graphgen import gen_family, gen_realworld, load_npz, save_npz
+from repro.kernels import kernel_engine
 
 RESULTS_DIR = Path(__file__).parent / "results"
 CACHE_DIR = RESULTS_DIR / "cache"
@@ -36,14 +39,20 @@ PER_CORE_EDGES_DENSE = 16384 * env_scale()
 MAX_CORES = env_max_cores(64)
 
 
-def core_sweep(lo: int = 4, hi: int | None = None) -> list[int]:
-    """Powers of two from ``lo`` to ``hi`` (default the env ceiling)."""
+def core_sweep(lo: int = 4, hi: int | None = None, step: int = 4) -> list[int]:
+    """Geometric core counts ``lo, lo*step, ...`` up to ``hi``.
+
+    ``hi`` defaults to the ``REPRO_MAX_CORES`` ceiling and is always included
+    as the final point when the geometric series does not land on it.  The
+    default ``step`` of 4 matches the paper's sweeps (every other power of
+    two); pass ``step=2`` for a full powers-of-two sweep.
+    """
     hi = hi or MAX_CORES
     out, c = [], lo
     while c <= hi:
         out.append(c)
-        c *= 4
-    if out and out[-1] != hi and hi > out[-1]:
+        c *= step
+    if out and out[-1] < hi:
         out.append(hi)
     return out
 
@@ -61,16 +70,25 @@ def competitor_memory_limit(per_core_edges: int) -> float:
     return 8.0 * (2 * per_core_edges * 32.0) + 65536.0
 
 
+#: In-process graph cache: sweeps re-request the same instance once per
+#: algorithm/thread configuration, so keep the last few decoded graphs
+#: around instead of re-reading (and re-inflating) the npz every time.
+_GRAPH_MEMO: dict = {}
+_GRAPH_MEMO_MAX = 24
+
+
 def cached_graph(kind: str, **kwargs):
     """Generate (or load from the on-disk cache) one benchmark instance."""
     CACHE_DIR.mkdir(parents=True, exist_ok=True)
     key = hashlib.sha1(
         json.dumps({"kind": kind, **kwargs}, sort_keys=True).encode()
     ).hexdigest()[:16]
+    if key in _GRAPH_MEMO:
+        return _GRAPH_MEMO[key]
     path = CACHE_DIR / f"{kind.replace('/', '_')}-{key}.npz"
     if path.exists():
         try:
-            return load_npz(path)
+            return _memo_graph(key, load_npz(path))
         except Exception:
             # Unreadable cache entry (truncated / corrupted): regenerate.
             path.unlink(missing_ok=True)
@@ -83,6 +101,13 @@ def cached_graph(kind: str, **kwargs):
     else:
         raise ValueError(kind)
     save_npz(g, path)
+    return _memo_graph(key, g)
+
+
+def _memo_graph(key, g):
+    if len(_GRAPH_MEMO) >= _GRAPH_MEMO_MAX:
+        _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
+    _GRAPH_MEMO[key] = g
     return g
 
 
@@ -92,3 +117,73 @@ def report(name: str, text: str) -> None:
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+class BenchRecorder:
+    """Wall-clock + simulated-makespan record of one benchmark run.
+
+    Collects ``(label, simulated_seconds)`` pairs during the sweep and, on
+    :meth:`write`, persists ``benchmarks/results/BENCH_<name>.json`` with the
+    total wall-clock of the measured block, the simulated series, and the
+    environment knobs that shaped the run.  Wall-clock depends on the kernel
+    engine (see docs/kernels.md); the simulated series must not.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_seconds = 0.0
+        self.simulated: list[dict] = []
+
+    def add(self, label: str, simulated_seconds: float, **extra) -> None:
+        """Record one configuration's simulated makespan.
+
+        Non-finite values (crashed/oom runs) are stored as ``null`` so the
+        JSON stays strictly parseable.
+        """
+        val = float(simulated_seconds)
+        self.simulated.append(
+            {"label": label,
+             "simulated_seconds": val if val == val and abs(val) != float("inf") else None,
+             **extra}
+        )
+
+    def write(self, **extra) -> Path:
+        """Persist the JSON record and return its path."""
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "kernels": kernel_engine(),
+            "max_cores": MAX_CORES,
+            "scale": env_scale(),
+            "simulated": self.simulated,
+            **extra,
+        }
+        path = RESULTS_DIR / f"BENCH_{self.name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def record_experiments(rec: BenchRecorder, results, prefix: str = "") -> None:
+    """Add every :class:`ExperimentResult`'s simulated makespan to ``rec``."""
+    for r in results:
+        rec.add(f"{prefix}{r.algorithm}/p{r.cores}", r.elapsed,
+                status=r.status)
+
+
+@contextmanager
+def bench_recorder(name: str):
+    """Time a benchmark's measured block and write its ``BENCH_*.json``.
+
+    Usage::
+
+        with bench_recorder("fig3_weak_scaling") as rec:
+            ...  # run sweep, rec.add(label, simulated_seconds) per point
+    """
+    rec = BenchRecorder(name)
+    t0 = time.perf_counter()
+    try:
+        yield rec
+    finally:
+        rec.wall_seconds = time.perf_counter() - t0
+        rec.write()

@@ -25,7 +25,7 @@ from repro.simmpi import (
     alltoallv_multilevel,
 )
 
-from _common import report
+from _common import bench_recorder, report
 
 SCHEMES = [
     ("direct", lambda c, b, n: alltoallv_direct(c, b, n)),
@@ -52,7 +52,11 @@ def _sweep():
 
 
 def test_ablation_alltoall_dimension(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("ablation_alltoall_dimension") as rec:
+        rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for p, entries in rows:
+            for name, t in entries:
+                rec.add(f"{name}/p{p}", t)
     header = f"{'p':>6s}" + "".join(f"{name:>12s}" for name, _ in SCHEMES)
     lines = ["Sparse all-to-all, one 8-byte message per PE pair, "
              "time [sim s]", header]

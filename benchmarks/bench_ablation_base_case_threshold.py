@@ -18,6 +18,7 @@ from _common import (
     MAX_CORES,
     PER_CORE_EDGES,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     report,
 )
@@ -39,7 +40,10 @@ def _sweep():
 
 
 def test_ablation_base_case_threshold(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("ablation_base_case_threshold") as rec:
+        rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for threshold, t, _ in rows:
+            rec.add(f"threshold={threshold}", t)
     lines = [f"Base-case threshold sweep on GNM, {CORES} cores, time [sim s]",
              f"{'threshold':>10s} {'time':>12s}"]
     for threshold, t, _ in rows:

@@ -19,6 +19,7 @@ from _common import (
     MAX_CORES,
     PER_CORE_EDGES_DENSE,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     report,
 )
@@ -40,7 +41,10 @@ def _sweep():
 
 
 def test_ablation_hash_dedup(benchmark):
-    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("ablation_hash_dedup") as rec:
+        out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for variant, r in out.items():
+            rec.add(variant, r.elapsed, status=r.status)
     h = out["hash"].phase_times.get("local_preprocessing", 0.0)
     s = out["sort"].phase_times.get("local_preprocessing", 0.0)
     lines = [

@@ -16,7 +16,7 @@ import numpy as np
 from repro.simmpi import Comm, Machine
 from repro.sorting import HYPERCUBE_THRESHOLD, is_globally_sorted, sort_rows
 
-from _common import MAX_CORES, report
+from _common import MAX_CORES, bench_recorder, report
 
 P = min(MAX_CORES, 32)
 SIZES = (16, 64, 256, 1024, 4096, 16384)
@@ -41,7 +41,11 @@ def _sweep():
 
 
 def test_ablation_sort_dispatch(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("ablation_sort_dispatch") as rec:
+        rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for per_pe, th, ts in rows:
+            rec.add(f"hypercube/{per_pe}", th)
+            rec.add(f"samplesort/{per_pe}", ts)
     lines = [f"Distributed sorting on {P} PEs, 4-column rows, time [sim s]",
              f"{'rows/PE':>8s} {'hypercube':>12s} {'samplesort':>12s} "
              f"{'winner':>10s}"]

@@ -21,8 +21,10 @@ from _common import (
     PER_CORE_EDGES,
     PER_CORE_EDGES_DENSE,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     core_sweep,
+    record_experiments,
     report,
 )
 
@@ -43,7 +45,10 @@ def _sweep():
 
 
 def test_dense_gnm_filter_advantage_grows(benchmark):
-    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("dense_gnm_weak_scaling") as rec:
+        out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for label, results in out.items():
+            record_experiments(rec, results, prefix=f"{label}/")
     lines = ["GNM weak scaling at two densities, time [sim s]"]
     advantages = {}
     for label, results in out.items():

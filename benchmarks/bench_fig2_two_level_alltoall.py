@@ -21,8 +21,10 @@ from repro.core import BoruvkaConfig
 from _common import (
     PER_CORE_EDGES,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     core_sweep,
+    record_experiments,
     report,
 )
 
@@ -45,7 +47,9 @@ def _sweep():
 
 
 def test_fig2_two_level_alltoall(benchmark):
-    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("fig2_two_level_alltoall") as rec:
+        results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        record_experiments(rec, results)
     table = series_table(results, value="elapsed")
     lines = [
         "Accumulated component-contraction (pointer doubling) time [sim s]",

@@ -27,9 +27,11 @@ from _common import (
     MAX_CORES,
     PER_CORE_EDGES,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     competitor_memory_limit,
     core_sweep,
+    record_experiments,
     report,
 )
 
@@ -76,7 +78,10 @@ def _ok(results, alg, cores):
 
 
 def test_fig3_weak_scaling(benchmark):
-    all_results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("fig3_weak_scaling") as rec:
+        all_results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for family, results in all_results.items():
+            record_experiments(rec, results, prefix=f"{family}/")
     lines = [f"Weak scaling, {PER_CORE_VERTICES} vertices / "
              f"{PER_CORE_EDGES} edge-halves per core; throughput [edges/sim s]"]
     for family, results in all_results.items():

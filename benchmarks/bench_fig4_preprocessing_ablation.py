@@ -20,8 +20,10 @@ from repro.core import BoruvkaConfig, FilterConfig
 from _common import (
     PER_CORE_EDGES_DENSE,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     core_sweep,
+    record_experiments,
     report,
 )
 
@@ -51,7 +53,10 @@ def _sweep():
 
 
 def test_fig4_preprocessing_ablation(benchmark):
-    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("fig4_preprocessing_ablation") as rec:
+        results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for family, rows in results.items():
+            record_experiments(rec, rows, prefix=f"{family}/")
     lines = [f"Local-preprocessing ablation, dense per-core workload "
              f"({PER_CORE_VERTICES} v / {PER_CORE_EDGES_DENSE} e per core), "
              f"time [sim s]"]

@@ -25,9 +25,11 @@ from repro.analysis import plot_results, series_table, speedup_summary, strong_s
 
 from _common import (
     MAX_CORES,
+    bench_recorder,
     cached_graph,
     competitor_memory_limit,
     core_sweep,
+    record_experiments,
     report,
 )
 
@@ -65,7 +67,10 @@ def _sweep():
 
 
 def test_fig5_strong_scaling(benchmark):
-    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("fig5_strong_scaling") as rec:
+        results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for name, rows in results.items():
+            record_experiments(rec, rows, prefix=f"{name}/")
     lines = ["Strong scaling on the Table-I stand-ins, time [sim s]"]
     for name, rows in results.items():
         lines += ["", f"--- {name} ---", series_table(rows),

@@ -27,6 +27,7 @@ from _common import (
     MAX_CORES,
     PER_CORE_EDGES,
     PER_CORE_VERTICES,
+    bench_recorder,
     cached_graph,
     report,
 )
@@ -56,7 +57,12 @@ def _sweep():
 
 
 def test_fig6_phase_breakdown(benchmark):
-    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("fig6_phase_breakdown") as rec:
+        out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for family, breakdowns in out.items():
+            for bd in breakdowns:
+                rec.add(f"{family}/{bd.algorithm}", bd.total,
+                        phases={k: float(v) for k, v in bd.times.items()})
     lines = [f"Phase breakdown at {CORES} cores, normalised to the slowest "
              f"variant per graph (Fig. 6)"]
     for family, breakdowns in out.items():

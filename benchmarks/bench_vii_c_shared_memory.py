@@ -30,7 +30,7 @@ from repro.analysis import run_algorithm
 from repro.competitors import shared_memory_msf
 from repro.core import BoruvkaConfig, FilterConfig
 
-from _common import MAX_CORES, cached_graph, core_sweep, report
+from _common import MAX_CORES, bench_recorder, cached_graph, core_sweep, report
 
 INSTANCES = ("friendster", "twitter", "US-road")
 #: Modelled shared-memory node size (scaled-down MASTIFF server).
@@ -76,7 +76,12 @@ def _crossover_core_ratio(rows, sm_time):
 
 
 def test_vii_c_shared_memory_crossover(benchmark):
-    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with bench_recorder("vii_c_shared_memory") as rec:
+        out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for name, (sm_time, rows) in out.items():
+            rec.add(f"{name}/shared-memory", sm_time)
+            for cores, t in rows:
+                rec.add(f"{name}/distributed/p{cores}", t)
     lines = [f"Distributed vs shared-memory reference ({SM_CORES} modelled "
              f"cores), time [sim s]"]
     ratios = {}

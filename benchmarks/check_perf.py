@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Gate a fresh ``BENCH_<name>.json`` against a checked-in baseline.
+
+Usage::
+
+    python benchmarks/check_perf.py FRESH BASELINE [MAX_RATIO]
+
+Exits non-zero when
+
+* the fresh ``wall_seconds`` exceeds ``MAX_RATIO`` (default 2.0) times the
+  baseline wall-clock -- the perf-smoke regression gate, or
+* any simulated entry differs from the baseline -- simulated seconds are
+  machine-independent and must be bit-for-bit reproducible, so a mismatch
+  means the modelled algorithm changed; regenerate the baseline in the same
+  commit if the change is intentional.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    fresh_path, base_path = argv[1], argv[2]
+    max_ratio = float(argv[3]) if len(argv) > 3 else 2.0
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    failures = []
+
+    wall_fresh = fresh["wall_seconds"]
+    wall_base = base["wall_seconds"]
+    ratio = wall_fresh / wall_base if wall_base else float("inf")
+    print(f"wall-clock: fresh {wall_fresh:.2f}s vs baseline {wall_base:.2f}s "
+          f"(ratio {ratio:.2f}, limit {max_ratio:.2f})")
+    if ratio > max_ratio:
+        failures.append(
+            f"wall-clock regression: {wall_fresh:.2f}s > "
+            f"{max_ratio} * {wall_base:.2f}s")
+
+    sim_fresh = {e["label"]: e for e in fresh.get("simulated", [])}
+    sim_base = {e["label"]: e for e in base.get("simulated", [])}
+    if set(sim_fresh) != set(sim_base):
+        only_f = sorted(set(sim_fresh) - set(sim_base))
+        only_b = sorted(set(sim_base) - set(sim_fresh))
+        failures.append(
+            f"simulated series mismatch: only-fresh {only_f[:5]}, "
+            f"only-baseline {only_b[:5]}")
+    else:
+        diffs = [label for label in sim_base
+                 if sim_fresh[label]["simulated_seconds"]
+                 != sim_base[label]["simulated_seconds"]]
+        if diffs:
+            failures.append(
+                "simulated seconds drifted (machine-independent, must be "
+                f"bit-for-bit): {diffs[:10]}")
+        else:
+            print(f"simulated series: {len(sim_base)} entries identical")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

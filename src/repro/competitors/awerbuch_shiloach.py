@@ -33,6 +33,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
+from ..kernels import RaggedArrays, batched_enabled, segmented_unique
+from ..kernels.segmented import packed_lexsort
 from ..simmpi.alltoall import route_rows, unsort
 from ..simmpi.collectives import Comm
 from ..utils.partition import owner_of
@@ -126,16 +128,12 @@ def awerbuch_shiloach_msf(
                 id2 = np.concatenate([ids, ids])
                 cu = np.minimum(grp, oth)
                 cv = np.maximum(grp, oth)
-                order = np.lexsort((cv, cu, w2, grp))
-                gs = grp[order]
-                first = np.ones(len(gs), dtype=bool)
-                first[1:] = gs[1:] != gs[:-1]
-                pick = order[first]
-                rows = np.stack([gs[first], w2[pick], cu[pick], cv[pick],
+                groups, pick = _group_min(grp, w2, cu, cv, n)
+                rows = np.stack([groups, w2[pick], cu[pick], cv[pick],
                                  id2[pick]], axis=1)
                 cand_rows.append(np.concatenate(
                     [rows, oth[pick][:, None]], axis=1))
-                cand_dests.append(owner_of(gs[first], n, p))
+                cand_dests.append(owner_of(groups, n, p))
             alive_total = comm.allreduce(
                 [int(x) for x in _per_pe(alive_total, p)])
             if alive_total == 0:
@@ -149,13 +147,10 @@ def awerbuch_shiloach_msf(
                 rows = recv[i]
                 if len(rows) == 0:
                     continue
-                order = np.lexsort((rows[:, 3], rows[:, 2], rows[:, 1],
-                                    rows[:, 0]))
-                rs = rows[order]
-                first = np.ones(len(rs), dtype=bool)
-                first[1:] = rs[1:, 0] != rs[:-1, 0]
-                best = rs[first]
-                hook_from.append(best[:, 0])
+                groups, pick = _group_min(rows[:, 0], rows[:, 1],
+                                          rows[:, 2], rows[:, 3], n)
+                best = rows[pick]
+                hook_from.append(groups)
                 hook_to.append(best[:, 5])
                 hook_id.append(best[:, 4])
                 hook_w.append(best[:, 1])
@@ -209,6 +204,37 @@ def awerbuch_shiloach_msf(
 
 
 # ----------------------------------------------------------------------
+def _group_min(grp, w, cu, cv, n_groups):
+    """Per-group lexicographic minimum of ``(w, cu, cv)``.
+
+    Returns ``(groups, pick)``: the ascending group ids with at least one
+    row and, for each, the index of its minimal row (full-key ties broken
+    toward the lowest index) -- exactly the first-per-group pick of a
+    stable sort keyed ``(cv, cu, w, grp)``, computed with one O(m) scatter
+    instead of an O(m log m) sort.  Falls back to the sort when the packed
+    key would overflow int64.
+    """
+    nk = len(grp)
+    w_lo, w_hi = int(w.min()), int(w.max())
+    cu_lo, cu_hi = int(cu.min()), int(cu.max())
+    cv_lo, cv_hi = int(cv.min()), int(cv.max())
+    span_cu = cu_hi - cu_lo + 1
+    span_cv = cv_hi - cv_lo + 1
+    big = 1 << nk.bit_length()
+    if (w_hi - w_lo + 1) * span_cu * span_cv * big < (1 << 62):
+        key = ((w - w_lo) * span_cu + (cu - cu_lo)) * span_cv + (cv - cv_lo)
+        key = key * big + np.arange(nk, dtype=np.int64)
+        best = np.full(n_groups, np.iinfo(np.int64).max)
+        np.minimum.at(best, grp, key)
+        groups = np.flatnonzero(best != np.iinfo(np.int64).max)
+        return groups, best[groups] & (big - 1)
+    order = packed_lexsort((cv, cu, w, grp))
+    gs = grp[order]
+    first = np.ones(len(gs), dtype=bool)
+    first[1:] = gs[1:] != gs[:-1]
+    return gs[first], order[first]
+
+
 def _identity_blocks(n: int, p: int) -> List[np.ndarray]:
     from ..utils.partition import block_bounds
 
@@ -239,20 +265,33 @@ def _resolve(comm: Comm, f_blocks: List[np.ndarray], n: int,
              ) -> List[np.ndarray]:
     """Look up f[x] for arbitrary per-PE label arrays (deduplicated)."""
     p = comm.size
-    uniqs, invs, dests = [], [], []
-    for i in range(p):
-        uniq, inv = np.unique(np.asarray(labels_per_pe[i], dtype=np.int64),
-                              return_inverse=True)
-        uniqs.append(uniq)
-        invs.append(inv)
-        dests.append(owner_of(uniq, n, p))
+    if batched_enabled():
+        r = RaggedArrays.from_arrays(
+            [np.asarray(x, dtype=np.int64) for x in labels_per_pe])
+        uniq, uoff, inv = segmented_unique(r.flat, r.segment_ids(), p)
+        uniqs = [uniq[uoff[i]:uoff[i + 1]] for i in range(p)]
+        invs = [inv[r.offsets[i]:r.offsets[i + 1]] for i in range(p)]
+        dest_flat = owner_of(uniq, n, p) if len(uniq) else \
+            np.empty(0, dtype=np.int64)
+        dests = [dest_flat[uoff[i]:uoff[i + 1]] for i in range(p)]
+    else:
+        uniqs, invs, dests = [], [], []
+        for i in range(p):
+            uniq, inv = np.unique(np.asarray(labels_per_pe[i],
+                                             dtype=np.int64),
+                                  return_inverse=True)
+            uniqs.append(uniq)
+            invs.append(inv)
+            dests.append(owner_of(uniq, n, p))
     recv, recv_src, orders = route_rows(comm, uniqs, dests, method=method)
     replies = []
     for i in range(p):
         q = recv[i]
         replies.append(f_blocks[i][q - _lo(n, p, i)]
                        if len(q) else np.empty(0, dtype=np.int64))
-        comm.machine.charge_hash(np.array([len(q)]), ranks=np.array([i]))
+    comm.machine.charge_hash(
+        np.array([len(q) for q in recv], dtype=np.int64),
+        ranks=np.arange(p))
     back, _, _ = route_rows(comm, replies, recv_src, method=method)
     out = []
     for i in range(p):

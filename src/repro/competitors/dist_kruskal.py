@@ -31,6 +31,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
 from ..simmpi.alltoall import route_rows
@@ -134,7 +136,7 @@ def _local_kruskal(part: Edges, vlabels: np.ndarray, n: int,
     else:
         du = np.searchsorted(vlabels, part.u)
         dv = np.searchsorted(vlabels, part.v)
-    order = np.lexsort((np.maximum(du, dv), np.minimum(du, dv), part.w))
+    order = packed_lexsort((np.maximum(du, dv), np.minimum(du, dv), part.w))
     uf = UnionFind(n)
     keep = uf.union_edges(du[order], dv[order])
     sel = order[keep]

@@ -28,6 +28,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 from ..dgraph.dist_graph import DistGraph
 from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
 from ..core.config import BoruvkaConfig
@@ -93,7 +95,7 @@ def dist_prim(
                 cu = np.minimum(eu[i], ev[i])
                 cv = np.maximum(eu[i], ev[i])
                 idx = np.flatnonzero(crossing)
-                order = np.lexsort((cv[idx], cu[idx], part.w[idx]))
+                order = packed_lexsort((cv[idx], cu[idx], part.w[idx]))
                 k = idx[order[0]]
                 candidates.append((int(part.w[k]), int(cu[k]), int(cv[k]),
                                    int(part.id[k]), int(ev[i][k])))

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 from ..dgraph.dist_graph import DistGraph
 from ..seq.boruvka import pseudo_tree_roots
 from .state import MSTRun
@@ -86,7 +88,7 @@ def base_case(graph: DistGraph, run: MSTRun):
                 id2 = np.concatenate([eid[i], eid[i]])
                 cu = np.minimum(grp, oth)
                 cv = np.maximum(grp, oth)
-                order = np.lexsort((cv, cu, w2, grp))
+                order = packed_lexsort((cv, cu, w2, grp))
                 g_sorted = grp[order]
                 first = np.ones(len(g_sorted), dtype=bool)
                 first[1:] = g_sorted[1:] != g_sorted[:-1]

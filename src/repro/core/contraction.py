@@ -18,6 +18,10 @@ about.
 Every non-root local vertex's selected edge is an MST edge (min-cut
 property) and is recorded; the final parent array is the per-vertex
 component-root label ``L_local`` consumed by EXCHANGELABELS/RELABEL.
+
+Two engines (see :mod:`repro.kernels`): the reference per-PE loop and a
+batched variant whose rounds run one segmented kernel call per step over all
+PEs at once.  Results and simulated costs are identical.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ from typing import List
 import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
+from ..dgraph.search import sorted_lookup
+from ..kernels import batched_enabled, segmented_lookup, segmented_unique
 from ..simmpi.alltoall import route_rows, unsort
 from .minedges import ChosenEdges
 from .state import MSTRun
@@ -43,6 +49,17 @@ def contract_components(
     vertex, aligned with ``chosen[i].vids``.  Records MST edges and reports
     label maps to the run's label sink.
     """
+    if batched_enabled():
+        return _contract_batched(graph, chosen, run)
+    return _contract_loop(graph, chosen, run)
+
+
+def _contract_loop(
+    graph: DistGraph,
+    chosen: List[ChosenEdges],
+    run: MSTRun,
+) -> List[np.ndarray]:
+    """Reference engine: per-PE loops around every exchange."""
     p = graph.machine.n_procs
     comm = run.comm
     shared_set = graph.shared_vertex_set()
@@ -88,10 +105,7 @@ def contract_components(
             if len(q) == 0:
                 replies.append(np.empty((0, 2), dtype=np.int64))
                 continue
-            idx = np.searchsorted(chosen[i].vids, q)
-            valid = (idx < len(chosen[i].vids))
-            idx = np.minimum(idx, max(len(chosen[i].vids) - 1, 0))
-            found = valid & (chosen[i].vids[idx] == q)
+            found, idx = sorted_lookup(chosen[i].vids, q)
             if not found.all():
                 raise RuntimeError(
                     f"PE {i}: pointer-doubling query for non-resident vertex"
@@ -144,3 +158,123 @@ def contract_components(
         run.record_mst(i, ch.edge_id[contributes], ch.weight[contributes])
         run.record_labels(i, ch.vids, parent[i])
     return parent
+
+
+def _contract_batched(
+    graph: DistGraph,
+    chosen: List[ChosenEdges],
+    run: MSTRun,
+) -> List[np.ndarray]:
+    """Batched engine: flat state, one kernel call per round step."""
+    p = graph.machine.n_procs
+    machine = graph.machine
+    comm = run.comm
+    shared_set = graph.shared_vertex_set()
+
+    lengths = np.array([len(c.vids) for c in chosen], dtype=np.int64)
+    voff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(lengths, out=voff[1:])
+    z = np.empty(0, dtype=np.int64)
+    vids = np.concatenate([c.vids for c in chosen]) if voff[-1] else z
+    shared = np.concatenate([c.shared for c in chosen]) \
+        if voff[-1] else np.zeros(0, dtype=bool)
+    to = np.concatenate([c.to for c in chosen]) if voff[-1] else z
+    vseg = np.repeat(np.arange(p, dtype=np.int64), lengths)
+
+    par = np.where(shared, vids, to)
+    root = shared.copy()
+    parent_shared = sorted_lookup(shared_set, par)[0]
+    pend = ~shared & ~parent_shared
+
+    # ------------------------------------------------------------------
+    # Pointer-doubling rounds.
+    # ------------------------------------------------------------------
+    max_rounds = run.cfg.max_rounds
+    for round_no in range(max_rounds):
+        pend_counts = np.bincount(vseg[pend], minlength=p)
+        n_pending = comm.allreduce([int(c) for c in pend_counts])
+        if n_pending == 0:
+            break
+        # Deduplicated queries: distinct parent targets per PE.
+        pend_pos = np.flatnonzero(pend)
+        targets = par[pend_pos]
+        tseg = vseg[pend_pos]
+        uniq, uoff, inv = segmented_unique(targets, tseg, p)
+        qlens = np.diff(uoff)
+        queries = [uniq[uoff[i]:uoff[i + 1]] for i in range(p)]
+        dest_flat = graph.home_of_vertices(uniq)
+        dests = [dest_flat[uoff[i]:uoff[i + 1]] for i in range(p)]
+        recv, recv_src, orders = route_rows(
+            comm, queries, dests, method=run.cfg.alltoall
+        )
+        # Answer from the state at round start (BSP semantics).
+        recv_lens = np.array([len(q) for q in recv], dtype=np.int64)
+        roff = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(recv_lens, out=roff[1:])
+        q_flat = np.concatenate(recv) if roff[-1] else z
+        qseg = np.repeat(np.arange(p, dtype=np.int64), recv_lens)
+        found, idx = segmented_lookup(vids, voff, q_flat, qseg)
+        if not found.all():
+            bad = int(qseg[~found][0])
+            raise RuntimeError(
+                f"PE {bad}: pointer-doubling query for non-resident vertex"
+            )
+        pv_rep = par[voff[qseg] + idx]
+        rep_flat = np.stack([q_flat, pv_rep], axis=1)
+        replies = [rep_flat[roff[i]:roff[i + 1]] for i in range(p)]
+        nz_recv = np.flatnonzero(recv_lens)
+        if len(nz_recv):
+            machine.charge_hash(recv_lens[nz_recv], ranks=nz_recv)
+        back, _, _ = route_rows(comm, replies, recv_src,
+                                method=run.cfg.alltoall)
+        # Apply: each pending u with target v learns pv = parent(v).
+        b_flat = np.concatenate(back, axis=0)
+        order_flat = np.concatenate(orders) if uoff[-1] else z
+        global_order = order_flat + np.repeat(uoff[:-1], qlens)
+        ordered = np.empty_like(b_flat)
+        ordered[global_order] = b_flat  # unsort(), all PEs at once
+        assert np.array_equal(ordered[:, 0], uniq)
+        pv_per_query = ordered[:, 1]
+        u = vids[pend_pos]
+        v = targets
+        pv = pv_per_query[uoff[tseg] + inv]
+        # 2-cycle: v's parent is u itself; root at the smaller label.
+        cyc = pv == u
+        win = cyc & (u < v)
+        lose = cyc & ~win
+        par[pend_pos[win]] = u[win]
+        root[pend_pos[win]] = True
+        pend[pend_pos[win]] = False
+        par[pend_pos[lose]] = v[lose]
+        pend[pend_pos[lose]] = False
+        # Regular doubling: adopt pv; finalise when v was a root or the
+        # new parent is a shared vertex (local check, paper IV-B).
+        reg = ~cyc
+        par[pend_pos[reg]] = pv[reg]
+        v_is_root = pv == v
+        new_shared = sorted_lookup(shared_set, pv)[0]
+        done = reg & (v_is_root | new_shared)
+        pend[pend_pos[done]] = False
+        nz_q = np.flatnonzero(qlens)
+        machine.charge_scan(pend_counts[nz_q], ranks=nz_q)
+    else:
+        raise RuntimeError("pointer doubling failed to converge")
+
+    # ------------------------------------------------------------------
+    # Record MST edges and label maps.
+    # ------------------------------------------------------------------
+    contributes = ~shared & ~root
+    cpos = np.flatnonzero(contributes)
+    c_ids = (np.concatenate([c.edge_id for c in chosen])
+             if voff[-1] else z)[cpos]
+    c_ws = (np.concatenate([c.weight for c in chosen])
+            if voff[-1] else z)[cpos]
+    ccounts = np.bincount(vseg[cpos], minlength=p)
+    coff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(ccounts, out=coff[1:])
+    for i in range(p):
+        run.record_mst(i, c_ids[coff[i]:coff[i + 1]],
+                       c_ws[coff[i]:coff[i + 1]])
+        run.record_labels(i, vids[voff[i]:voff[i + 1]],
+                          par[voff[i]:voff[i + 1]])
+    return [par[voff[i]:voff[i + 1]] for i in range(p)]

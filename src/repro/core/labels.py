@@ -9,6 +9,12 @@ search on the replicated min-edge array.  Duplicate messages for the same
 
 RELABEL then rewrites every edge ``(u, v)`` to ``(u', v')`` and discards
 self loops; parallel-edge elimination happens later in REDISTRIBUTE.
+
+Two engines (see :mod:`repro.kernels`): the reference per-PE loop and a
+batched variant built on segmented searchsorted/lookup kernels.  The batched
+engine may emit the deduplicated push payload in a different (but
+equivalent) row order; the resulting ghost tables, relabelled edges and
+simulated costs are identical.
 """
 
 from __future__ import annotations
@@ -18,8 +24,16 @@ from typing import List
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..dgraph.search import sorted_lookup
+from ..kernels import (
+    batched_enabled,
+    segmented_lookup,
+    segmented_searchsorted,
+)
 from ..simmpi.alltoall import route_rows
 from .state import MSTRun
 
@@ -33,14 +47,11 @@ class GhostTable:
 
     def lookup(self, v: np.ndarray) -> np.ndarray:
         """New labels of the given ghost vertices (all must be present)."""
-        idx = np.searchsorted(self.ghosts, v)
-        valid = idx < len(self.ghosts)
-        idx_c = np.minimum(idx, max(len(self.ghosts) - 1, 0))
-        found = valid & (self.ghosts[idx_c] == v)
+        found, idx = sorted_lookup(self.ghosts, v)
         if not found.all():
             missing = np.asarray(v)[~found][:5]
             raise RuntimeError(f"ghost labels missing for vertices {missing}")
-        return self.labels[idx_c]
+        return self.labels[idx]
 
 
 def exchange_labels(
@@ -50,6 +61,19 @@ def exchange_labels(
     run: MSTRun,
 ) -> List[GhostTable]:
     """Push new local-vertex labels to every PE that has them as ghosts."""
+    if batched_enabled():
+        return _exchange_labels_batched(graph, vids_per_pe, labels_per_pe,
+                                        run)
+    return _exchange_labels_loop(graph, vids_per_pe, labels_per_pe, run)
+
+
+def _exchange_labels_loop(
+    graph: DistGraph,
+    vids_per_pe: List[np.ndarray],
+    labels_per_pe: List[np.ndarray],
+    run: MSTRun,
+) -> List[GhostTable]:
+    """Reference engine: one numpy pass per PE around one exchange."""
     p = graph.machine.n_procs
     payloads, dests = [], []
     for i in range(p):
@@ -99,6 +123,93 @@ def exchange_labels(
     return tables
 
 
+def _exchange_labels_batched(
+    graph: DistGraph,
+    vids_per_pe: List[np.ndarray],
+    labels_per_pe: List[np.ndarray],
+    run: MSTRun,
+) -> List[GhostTable]:
+    """Batched engine: one segmented pass for all PEs' pushes and tables."""
+    p = graph.machine.n_procs
+    machine = graph.machine
+    parts = graph.parts
+    lengths = np.array([len(part) for part in parts], dtype=np.int64)
+    total = int(lengths.sum())
+    z = np.empty(0, dtype=np.int64)
+
+    if total:
+        eu = np.concatenate([np.asarray(part.u) for part in parts])
+        ev = np.concatenate([np.asarray(part.v) for part in parts])
+        ew = np.concatenate([np.asarray(part.w) for part in parts])
+    else:
+        eu = ev = ew = z
+    seg = np.repeat(np.arange(p, dtype=np.int64), lengths)
+    vlens = np.array([len(v) for v in vids_per_pe], dtype=np.int64)
+    voff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(vlens, out=voff[1:])
+    vids = np.concatenate(vids_per_pe) if voff[-1] else z
+    labels = np.concatenate(labels_per_pe) if voff[-1] else z
+
+    # Home PE of every reverse edge (v, u, w); see the loop engine for why
+    # this covers exactly the pushes the paper requires.
+    home_all = graph.home_of_edges(ev, eu, ew)
+    cut_pos = np.flatnonzero(home_all != seg)
+    cu = eu[cut_pos]
+    home = home_all[cut_pos]
+    cseg = seg[cut_pos]
+    # New label of the edge's source.
+    src_idx = segmented_searchsorted(vids, voff, cu, cseg, side="left")
+    lab = labels[voff[cseg] + src_idx]
+    # Deduplicate per (destination PE, vertex): first occurrence of each
+    # (home, cu) pair per PE, exactly the rows the loop engine keeps (its
+    # np.unique(axis=0) orders rows differently, which is immaterial -- the
+    # receiver dedups again and all copies of a label agree).
+    dd = packed_lexsort((cu, home, cseg))
+    h_s, c_s, s_s = home[dd], cu[dd], cseg[dd]
+    first = np.ones(len(dd), dtype=bool)
+    if len(dd) > 1:
+        first[1:] = ((h_s[1:] != h_s[:-1]) | (c_s[1:] != c_s[:-1])
+                     | (s_s[1:] != s_s[:-1]))
+    sel = dd[first]  # ascending in cseg, so flat payloads split per PE
+    pay = np.stack([cu[sel], lab[sel]], axis=1)
+    pay_counts = np.bincount(cseg[sel], minlength=p)
+    poff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(pay_counts, out=poff[1:])
+    payloads = [pay[poff[i]:poff[i + 1]] for i in range(p)]
+    pdest = home[sel]
+    dests = [pdest[poff[i]:poff[i + 1]] for i in range(p)]
+    nz = np.flatnonzero(lengths)
+    if len(nz):
+        cut_counts = np.bincount(cseg, minlength=p)
+        machine.charge_scan(lengths[nz], ranks=nz)
+        machine.charge_sort(np.maximum(cut_counts[nz], 1), ranks=nz)
+
+    recv, _, _ = route_rows(run.comm, payloads, dests,
+                            method=run.cfg.alltoall)
+
+    recv_lens = np.array([len(r) for r in recv], dtype=np.int64)
+    r_flat = np.concatenate(recv, axis=0)
+    rseg = np.repeat(np.arange(p, dtype=np.int64), recv_lens)
+    order = packed_lexsort((r_flat[:, 0], rseg))  # per-PE stable sort by ghost
+    g = r_flat[order, 0]
+    l = r_flat[order, 1]
+    s_s = rseg[order]
+    first = np.ones(len(g), dtype=bool)
+    if len(g) > 1:
+        first[1:] = (g[1:] != g[:-1]) | (s_s[1:] != s_s[:-1])
+    gh = g[first]
+    gl = l[first]
+    gcounts = np.bincount(s_s[first], minlength=p)
+    goff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(gcounts, out=goff[1:])
+    tables = [GhostTable(gh[goff[i]:goff[i + 1]], gl[goff[i]:goff[i + 1]])
+              for i in range(p)]
+    nz_recv = np.flatnonzero(recv_lens)
+    if len(nz_recv):
+        machine.charge_hash(recv_lens[nz_recv], ranks=nz_recv)
+    return tables
+
+
 def relabel(
     graph: DistGraph,
     vids_per_pe: List[np.ndarray],
@@ -107,6 +218,21 @@ def relabel(
     run: MSTRun,
 ) -> List[Edges]:
     """RELABEL: rewrite endpoints to component roots, drop self loops."""
+    if batched_enabled():
+        return _relabel_batched(graph, vids_per_pe, labels_per_pe,
+                                ghost_tables, run)
+    return _relabel_loop(graph, vids_per_pe, labels_per_pe, ghost_tables,
+                         run)
+
+
+def _relabel_loop(
+    graph: DistGraph,
+    vids_per_pe: List[np.ndarray],
+    labels_per_pe: List[np.ndarray],
+    ghost_tables: List[GhostTable],
+    run: MSTRun,
+) -> List[Edges]:
+    """Reference engine: one numpy pass per PE."""
     p = graph.machine.n_procs
     out: List[Edges] = []
     for i in range(p):
@@ -119,15 +245,81 @@ def relabel(
         # Source labels: every source is local by definition.
         u_new = labels[np.searchsorted(vids, part.u)]
         # Destination labels: local lookup where possible, ghosts otherwise.
-        idx = np.searchsorted(vids, part.v)
-        idx_c = np.minimum(idx, len(vids) - 1)
-        v_local = (idx < len(vids)) & (vids[idx_c] == part.v)
+        v_local, idx = sorted_lookup(vids, part.v)
         v_new = np.empty_like(part.v)
-        v_new[v_local] = labels[idx_c[v_local]]
+        v_new[v_local] = labels[idx[v_local]]
         if (~v_local).any():
             v_new[~v_local] = ghost_tables[i].lookup(part.v[~v_local])
         keep = u_new != v_new
         out.append(Edges(u_new[keep], v_new[keep], part.w[keep],
                          part.id[keep]))
         graph.machine.charge_scan(np.array([len(part)]), ranks=np.array([i]))
+    return out
+
+
+def _relabel_batched(
+    graph: DistGraph,
+    vids_per_pe: List[np.ndarray],
+    labels_per_pe: List[np.ndarray],
+    ghost_tables: List[GhostTable],
+    run: MSTRun,
+) -> List[Edges]:
+    """Batched engine: segmented lookups over all PEs' edges at once."""
+    p = graph.machine.n_procs
+    parts = graph.parts
+    lengths = np.array([len(part) for part in parts], dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return [Edges.empty() for _ in range(p)]
+    eu = np.concatenate([np.asarray(part.u) for part in parts])
+    ev = np.concatenate([np.asarray(part.v) for part in parts])
+    ew = np.concatenate([np.asarray(part.w) for part in parts])
+    eid = np.concatenate([np.asarray(part.id) for part in parts])
+    seg = np.repeat(np.arange(p, dtype=np.int64), lengths)
+
+    z = np.empty(0, dtype=np.int64)
+    voff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(np.array([len(v) for v in vids_per_pe], dtype=np.int64),
+              out=voff[1:])
+    vids = np.concatenate(vids_per_pe) if voff[-1] else z
+    labels = np.concatenate(labels_per_pe) if voff[-1] else z
+
+    # Source labels: every source is local by definition.
+    u_new = labels[voff[seg]
+                   + segmented_searchsorted(vids, voff, eu, seg, side="left")]
+    # Destination labels: local lookup where possible, ghosts otherwise.
+    v_local, idx = segmented_lookup(vids, voff, ev, seg)
+    v_new = np.empty_like(ev)
+    v_new[v_local] = labels[(voff[seg] + idx)[v_local]]
+    miss = ~v_local
+    if miss.any():
+        goff = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(np.array([len(t.ghosts) for t in ghost_tables],
+                           dtype=np.int64), out=goff[1:])
+        ghosts = np.concatenate([t.ghosts for t in ghost_tables]) \
+            if goff[-1] else z
+        glabels = np.concatenate([t.labels for t in ghost_tables]) \
+            if goff[-1] else z
+        g_found, g_idx = segmented_lookup(ghosts, goff, ev[miss], seg[miss])
+        if not g_found.all():
+            missing = ev[miss][~g_found][:5]
+            raise RuntimeError(f"ghost labels missing for vertices {missing}")
+        v_new[miss] = glabels[goff[seg[miss]] + g_idx]
+    keep_pos = np.flatnonzero(u_new != v_new)
+    kcounts = np.bincount(seg[keep_pos], minlength=p)
+    koff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(kcounts, out=koff[1:])
+    ku = u_new[keep_pos]
+    kv = v_new[keep_pos]
+    kw = ew[keep_pos]
+    kid = eid[keep_pos]
+    out: List[Edges] = []
+    for i in range(p):
+        if lengths[i] == 0:
+            out.append(Edges.empty())
+            continue
+        sl = slice(koff[i], koff[i + 1])
+        out.append(Edges(ku[sl], kv[sl], kw[sl], kid[sl]))
+    nz = np.flatnonzero(lengths)
+    graph.machine.charge_scan(lengths[nz], ranks=nz)
     return out

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..kernels.segmented import packed_lexsort
 from ..seq.filter_kruskal import filter_boruvka_msf
 from ..seq.kruskal import kruskal_msf
 from ..simmpi.alltoall import route_rows
@@ -142,7 +143,6 @@ def _contract_one_pe(
     e_u = vidx_u[consider]
     e_v = vidx_v[consider]          # -1 for ghosts
     e_w = part.w[consider]
-    e_id = part.id[consider]
     e_pos = np.flatnonzero(consider)
     e_cand = candidate[consider]
     ghost_label = part.v[consider]  # actual labels for canonical tie keys
@@ -160,10 +160,18 @@ def _contract_one_pe(
         alive = label_u != label_v
         if not alive.any():
             break
-        a_u, a_v = cu_root[alive], cv_root[alive]
-        a_lu, a_lv = label_u[alive], label_v[alive]
-        a_w = e_w[alive]
-        a_cand = e_cand[alive] & (a_v >= 0)
+        if not alive.all():
+            # Self-loop edges stay dead forever (components only grow), so
+            # drop them before the next round's scans.
+            e_u, e_v, e_w = e_u[alive], e_v[alive], e_w[alive]
+            e_pos, e_cand = e_pos[alive], e_cand[alive]
+            ghost_label = ghost_label[alive]
+            cu_root, cv_root = cu_root[alive], cv_root[alive]
+            label_u, label_v = label_u[alive], label_v[alive]
+        a_u, a_v = cu_root, cv_root
+        a_lu, a_lv = label_u, label_v
+        a_w = e_w
+        a_cand = e_cand & (a_v >= 0)
         key_cu = np.minimum(a_lu, a_lv)
         key_cv = np.maximum(a_lu, a_lv)
         # Group candidates by component: local edges feed both sides' groups,
@@ -175,25 +183,78 @@ def _contract_one_pe(
         kw = a_w[sel]
         kcu = key_cu[sel]
         kcv = key_cv[sel]
-        order = np.lexsort((kcv, kcu, kw, grp))
-        g_sorted = grp[order]
-        first = np.ones(len(g_sorted), dtype=bool)
-        first[1:] = g_sorted[1:] != g_sorted[:-1]
-        groups = g_sorted[first]
-        chosen = sel[order[first]]  # row into the `alive` arrays
+        # Per-group lexicographic minimum of (kw, kcu, kcv) with the lowest
+        # input position breaking full-key ties -- exactly what the stable
+        # sort keyed (kcv, kcu, kw, grp) used to pick, via one O(m) scatter
+        # instead of an O(m log m) sort.  Falls back to the sort when the
+        # packed key would overflow int64.
+        nk = len(grp)
+        w_lo, w_hi = int(kw.min()), int(kw.max())
+        cu_lo, cu_hi = int(kcu.min()), int(kcu.max())
+        cv_lo, cv_hi = int(kcv.min()), int(kcv.max())
+        span_cu = cu_hi - cu_lo + 1
+        span_cv = cv_hi - cv_lo + 1
+        big = 1 << nk.bit_length()
+        if (w_hi - w_lo + 1) * span_cu * span_cv * big < (1 << 62):
+            key = ((kw - w_lo) * span_cu + (kcu - cu_lo)) * span_cv \
+                + (kcv - cv_lo)
+            key = key * big + np.arange(nk, dtype=np.int64)
+            best = np.full(n_local, np.iinfo(np.int64).max)
+            np.minimum.at(best, grp, key)
+            groups = np.flatnonzero(best != np.iinfo(np.int64).max)
+            chosen = sel[best[groups] & (big - 1)]
+        else:
+            order = packed_lexsort((kcv, kcu, kw, grp))
+            g_sorted = grp[order]
+            first = np.ones(len(g_sorted), dtype=bool)
+            first[1:] = g_sorted[1:] != g_sorted[:-1]
+            groups = g_sorted[first]
+            chosen = sel[order[first]]  # row into the compacted arrays
         # Contract where the choosing component is untainted and its minimum
         # is a contractible (local MSF) edge.
         ok = ~uf.taint[groups] & a_cand[chosen]
-        alive_idx = np.flatnonzero(alive)
         did_union = False
-        for row in np.unique(chosen[ok]):
-            ia = int(a_u[row])
-            ib = int(a_v[row])
-            if uf.union(ia, ib):
-                did_union = True
-                pos = e_pos[alive_idx[row]]
-                mst_ids.append(int(part.id[pos]))
-                mst_ws.append(int(part.w[pos]))
+        rows = np.unique(chosen[ok])
+        pos = e_pos[rows]
+        # uf.union inlined over plain Python lists (same op order, same
+        # state evolution): this loop dominates the per-PE contraction time
+        # and list indexing beats numpy scalar indexing several-fold.
+        parent = uf.parent.tolist()
+        rank = uf.rank.tolist()
+        taint = uf.taint.tolist()
+        rep = uf.rep.tolist()
+        for ia, ib, eid, ew in zip(a_u[rows].tolist(), a_v[rows].tolist(),
+                                   part.id[pos].tolist(),
+                                   part.w[pos].tolist()):
+            root = ia
+            while parent[root] != root:
+                root = parent[root]
+            while parent[ia] != root:
+                parent[ia], ia = root, parent[ia]
+            ra = root
+            root = ib
+            while parent[root] != root:
+                root = parent[root]
+            while parent[ib] != root:
+                parent[ib], ib = root, parent[ib]
+            rb = root
+            if ra == rb or (taint[ra] and taint[rb]):
+                continue
+            if rank[ra] < rank[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            if rank[ra] == rank[rb]:
+                rank[ra] += 1
+            if taint[rb]:
+                taint[ra] = True
+                rep[ra] = rep[rb]
+            did_union = True
+            mst_ids.append(eid)
+            mst_ws.append(ew)
+        uf.parent[:] = parent
+        uf.rank[:] = rank
+        uf.taint[:] = taint
+        uf.rep[:] = rep
         if not did_union:
             break
         if rounds > 64:

@@ -6,6 +6,10 @@ vertices are only considered in the base case", Section IV).  Because the
 part is sorted by source vertex, the per-vertex groups are contiguous and
 the selection is one vectorised pass (the paper's implementation uses
 parlay's Min-Priority-Write; we charge the equivalent linear scan).
+
+Two engines compute the same result (see :mod:`repro.kernels`): the
+reference per-PE loop, and a batched variant that runs one flat segmented
+lexsort over all PEs' edges at once.  Simulated costs are identical.
 """
 
 from __future__ import annotations
@@ -15,7 +19,11 @@ from typing import List
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 from ..dgraph.dist_graph import DistGraph
+from ..dgraph.search import sorted_lookup
+from ..kernels import batched_enabled, first_in_group
 
 
 @dataclass
@@ -37,23 +45,34 @@ class ChosenEdges:
         return len(self.vids)
 
 
+def _empty_chosen() -> ChosenEdges:
+    z = np.empty(0, dtype=np.int64)
+    return ChosenEdges(z, np.zeros(0, dtype=bool), z.copy(), z.copy(),
+                       z.copy())
+
+
 def min_edges(graph: DistGraph) -> List[ChosenEdges]:
     """Run MINEDGES on every PE; one linear pass per PE, no communication."""
+    if batched_enabled():
+        return _min_edges_batched(graph)
+    return _min_edges_loop(graph)
+
+
+def _min_edges_loop(graph: DistGraph) -> List[ChosenEdges]:
+    """Reference engine: one numpy pass per PE."""
     shared_set = graph.shared_vertex_set()
     out: List[ChosenEdges] = []
     for i in range(graph.machine.n_procs):
         part = graph.parts[i]
         vids, starts = graph.vertex_groups(i)
         if len(vids) == 0:
-            z = np.empty(0, dtype=np.int64)
-            out.append(ChosenEdges(z, np.zeros(0, dtype=bool),
-                                   z.copy(), z.copy(), z.copy()))
+            out.append(_empty_chosen())
             continue
         # Group index of every edge (groups are contiguous by sortedness).
         group = np.repeat(np.arange(len(vids)), np.diff(starts))
         cu = np.minimum(part.u, part.v)
         cv = np.maximum(part.u, part.v)
-        order = np.lexsort((cv, cu, part.w, group))
+        order = packed_lexsort((cv, cu, part.w, group))
         g_sorted = group[order]
         first = np.ones(len(g_sorted), dtype=bool)
         first[1:] = g_sorted[1:] != g_sorted[:-1]
@@ -68,4 +87,64 @@ def min_edges(graph: DistGraph) -> List[ChosenEdges]:
         ))
         graph.machine.charge_scan(np.array([len(part)]),
                                   ranks=np.array([i]))
+    return out
+
+
+def _min_edges_batched(graph: DistGraph) -> List[ChosenEdges]:
+    """Batched engine: one segmented lexsort over all PEs' edges."""
+    shared_set = graph.shared_vertex_set()
+    p = graph.machine.n_procs
+    parts = graph.parts
+    lengths = np.array([len(part) for part in parts], dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return [_empty_chosen() for _ in range(p)]
+    off = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(lengths, out=off[1:])
+    u = np.concatenate([np.asarray(part.u) for part in parts])
+    v = np.concatenate([np.asarray(part.v) for part in parts])
+    w = np.concatenate([np.asarray(part.w) for part in parts])
+    eid = np.concatenate([np.asarray(part.id) for part in parts])
+
+    # Vertex groups of every PE at once: a group starts where the source
+    # changes *or* a new PE's segment begins (shared vertices stay distinct
+    # per PE, exactly like per-PE vertex_groups).
+    change = np.ones(total, dtype=bool)
+    change[1:] = u[1:] != u[:-1]
+    seg_starts = off[:p][off[:p] < total]
+    change[seg_starts] = True
+    group = np.cumsum(change) - 1
+    gstart = np.flatnonzero(change)
+    vids_flat = u[gstart]
+    seg = np.repeat(np.arange(p, dtype=np.int64), lengths)
+    gcounts = np.bincount(seg[gstart], minlength=p)
+    goff = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(gcounts, out=goff[1:])
+
+    cu = np.minimum(u, v)
+    cv = np.maximum(u, v)
+    # Group ids are globally increasing PE-major, so one stable lexsort is
+    # every PE's per-group (w, min, max) selection at once.
+    order = packed_lexsort((cv, cu, w, group))
+    pick = order[first_in_group(group[order])]  # one per group, group order
+    to_flat = v[pick]
+    w_flat = w[pick]
+    id_flat = eid[pick]
+    shared_flat = sorted_lookup(shared_set, vids_flat)[0]
+
+    out: List[ChosenEdges] = []
+    for i in range(p):
+        if lengths[i] == 0:
+            out.append(_empty_chosen())
+            continue
+        sl = slice(goff[i], goff[i + 1])
+        out.append(ChosenEdges(
+            vids=vids_flat[sl],
+            shared=shared_flat[sl],
+            to=to_flat[sl],
+            weight=w_flat[sl],
+            edge_id=id_flat[sl],
+        ))
+    nonempty = np.flatnonzero(lengths)
+    graph.machine.charge_scan(lengths[nonempty], ranks=nonempty)
     return out

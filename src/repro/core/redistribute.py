@@ -17,6 +17,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..kernels import RaggedArrays, batched_enabled
 from ..simmpi.machine import Machine
 from ..sorting.api import sort_rows
 from .state import MSTRun
@@ -29,6 +30,30 @@ def dedup_sorted_part(part: np.ndarray) -> np.ndarray:
     same = (part[1:, 0] == part[:-1, 0]) & (part[1:, 1] == part[:-1, 1])
     keep = np.concatenate(([True], ~same))
     return part[keep]
+
+
+def dedup_sorted_parts(parts: List[np.ndarray]) -> List[np.ndarray]:
+    """Every PE's :func:`dedup_sorted_part` -- one flat pass when batched.
+
+    The segment-change guard keeps boundary-straddling groups intact on both
+    sides, exactly like the per-PE dedup (the boundary copies are dropped
+    later by :func:`_drop_boundary_duplicates`).
+    """
+    if not batched_enabled():
+        return [dedup_sorted_part(x) for x in parts]
+    r = RaggedArrays.from_arrays(parts)
+    flat = r.flat
+    if len(flat) <= 1:
+        return list(parts)
+    seg = r.segment_ids()
+    same = ((flat[1:, 0] == flat[:-1, 0]) & (flat[1:, 1] == flat[:-1, 1])
+            & (seg[1:] == seg[:-1]))
+    keep = np.concatenate(([True], ~same))
+    kept = flat[keep]
+    counts = np.bincount(seg[keep], minlength=r.n_segments)
+    koff = np.zeros(r.n_segments + 1, dtype=np.int64)
+    np.cumsum(counts, out=koff[1:])
+    return [kept[koff[i]:koff[i + 1]] for i in range(r.n_segments)]
 
 
 def _drop_boundary_duplicates(run: MSTRun, parts: List[np.ndarray]
@@ -73,7 +98,7 @@ def redistribute(
     mats = [e.as_matrix() for e in relabelled]
     sorted_parts = sort_rows(run.comm, mats, n_key_cols=3,
                              method=run.cfg.sorter, rebalance=True)
-    deduped = [dedup_sorted_part(x) for x in sorted_parts]
+    deduped = dedup_sorted_parts(sorted_parts)
     machine.charge_scan(np.array([len(x) for x in sorted_parts]))
     deduped = _drop_boundary_duplicates(run, deduped)
     parts = [Edges.from_matrix(x) for x in deduped]

@@ -33,6 +33,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 
 class Edges:
     """A sequence of directed weighted edges as parallel int64 arrays."""
@@ -75,7 +77,14 @@ class Edges:
 
     def take(self, idx) -> "Edges":
         """Subset / reorder by integer or boolean index."""
-        return Edges(self.u[idx], self.v[idx], self.w[idx], self.id[idx])
+        # The columns are already int64 and equally long; skip __init__'s
+        # re-coercion (ascontiguousarray is still needed for strided slices).
+        e = object.__new__(Edges)
+        e.u = np.ascontiguousarray(self.u[idx])
+        e.v = np.ascontiguousarray(self.v[idx])
+        e.w = np.ascontiguousarray(self.w[idx])
+        e.id = np.ascontiguousarray(self.id[idx])
+        return e
 
     def copy(self) -> "Edges":
         """A deep copy (all four arrays duplicated)."""
@@ -86,7 +95,7 @@ class Edges:
     # ------------------------------------------------------------------
     def lex_order(self) -> np.ndarray:
         """Permutation sorting by the paper's lexicographic order (u, v, w)."""
-        return np.lexsort((self.w, self.v, self.u))
+        return packed_lexsort((self.w, self.v, self.u))
 
     def sort_lex(self) -> "Edges":
         """Sorted copy in lexicographic (u, v, w) order."""
@@ -122,7 +131,7 @@ class Edges:
     def weight_order(self) -> np.ndarray:
         """Permutation sorting by the tie-breaking total order."""
         w, cu, cv = self.tie_key()
-        return np.lexsort((cv, cu, w))
+        return packed_lexsort((cv, cu, w))
 
     # ------------------------------------------------------------------
     # Communication helpers.
@@ -165,7 +174,7 @@ class Edges:
         """
         w, cu, cv = self.tie_key()
         trip = np.stack([w, cu, cv], axis=1)
-        order = np.lexsort((cv, cu, w))
+        order = packed_lexsort((cv, cu, w))
         return trip[order]
 
     def total_weight(self) -> int:

@@ -15,6 +15,62 @@ from typing import Sequence
 import numpy as np
 
 
+def sorted_lookup(haystack: np.ndarray, needles: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Membership probe of ``needles`` in a sorted 1-D ``haystack``.
+
+    Returns ``(found, idx)``: ``found[k]`` is whether ``needles[k]`` occurs
+    in ``haystack`` and ``idx[k]`` is its position (clamped to the valid
+    range, 0 for an empty haystack, so gathering ``haystack[idx]`` is always
+    safe; ``idx`` is meaningful only where ``found``).  This is the one
+    clamped-searchsorted-probe used everywhere a sorted array serves as a
+    lookup table -- pointer-doubling replies, ghost-label tables, RELABEL's
+    destination lookup -- replacing three hand-rolled copies with subtly
+    different empty-array handling.
+    """
+    needles = np.asarray(needles)
+    idx = np.searchsorted(haystack, needles)
+    if len(haystack) == 0:
+        return np.zeros(len(needles), dtype=bool), np.zeros(len(needles),
+                                                            dtype=np.int64)
+    valid = idx < len(haystack)
+    idx = np.minimum(idx, len(haystack) - 1)
+    found = valid & (haystack[idx] == needles)
+    return found, idx
+
+
+def _pack_columns(keys: Sequence[np.ndarray], queries: Sequence[np.ndarray]):
+    """Pack multi-column lexicographic keys into single int64 scalars.
+
+    Returns ``(packed_keys, packed_queries)`` when the per-column value
+    ranges are narrow enough that the mixed-radix encoding fits int64 (the
+    encoding is strictly monotone in lexicographic order, so a plain binary
+    search replaces the merged lexsort), else ``None``.
+    """
+    lo_hi = []
+    capacity = 1
+    for c in range(len(keys)):
+        kc = np.asarray(keys[c], dtype=np.int64)
+        qc = np.asarray(queries[c], dtype=np.int64)
+        lo = int(kc.min())
+        hi = int(kc.max())
+        if len(qc):
+            lo = min(lo, int(qc.min()))
+            hi = max(hi, int(qc.max()))
+        span = hi - lo + 1
+        capacity *= span
+        # Bail out when the packed key or the raw values overflow int64.
+        if capacity >= (1 << 62) or hi >= (1 << 62) or lo <= -(1 << 62):
+            return None
+        lo_hi.append((lo, span, kc, qc))
+    pk = np.zeros(len(lo_hi[0][2]), dtype=np.int64)
+    pq = np.zeros(len(lo_hi[0][3]), dtype=np.int64)
+    for lo, span, kc, qc in lo_hi:
+        pk = pk * span + (kc - lo)
+        pq = pq * span + (qc - lo)
+    return pk, pq
+
+
 def lex_searchsorted(
     keys: Sequence[np.ndarray],
     queries: Sequence[np.ndarray],
@@ -39,6 +95,11 @@ def lex_searchsorted(
         return np.empty(0, dtype=np.int64)
     if k == 0:
         return np.zeros(q, dtype=np.int64)
+
+    packed = _pack_columns(keys, queries)
+    if packed is not None:
+        pk, pq = packed
+        return np.searchsorted(pk, pq, side=side)
 
     merged = [
         np.concatenate([np.asarray(keys[c], dtype=np.int64),

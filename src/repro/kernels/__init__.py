@@ -1,0 +1,47 @@
+"""Batched segmented-array kernels for the simulated machine.
+
+The simulator drives all ``p`` virtual PEs from one Python process, so every
+hot path that loops ``for i in range(p)`` re-enters the numpy dispatcher once
+per PE: wall-clock grows with ``p`` even though per-PE work shrinks.  This
+package provides the *flat* alternative -- all PEs' data packed into one
+array plus per-PE offsets (:class:`RaggedArrays`) and segmented kernels that
+process every PE's segment in a single numpy pass, mirroring the parlay-style
+flat segmented primitives of the paper's own stack (KaMSTa / GBBS).
+
+Hard invariant
+--------------
+Kernels change only the *wall-clock* of running the simulator.  Simulated
+seconds, per-PE semantics, cost charging and sanitizer ownership views are
+bit-for-bit identical between the two engines; ``REPRO_KERNELS=loop``
+switches every rewritten hot path back to the per-PE reference loops so the
+test suite can differential-test the engines against each other
+(see docs/kernels.md).
+"""
+
+from .engine import KERNEL_ENGINES, batched_enabled, kernel_engine
+from .ragged import RaggedArrays
+from .segmented import (
+    first_in_group,
+    packed_lexsort,
+    route_counts,
+    segment_ids,
+    segmented_lexsort,
+    segmented_lookup,
+    segmented_searchsorted,
+    segmented_unique,
+)
+
+__all__ = [
+    "KERNEL_ENGINES",
+    "RaggedArrays",
+    "batched_enabled",
+    "first_in_group",
+    "kernel_engine",
+    "packed_lexsort",
+    "route_counts",
+    "segment_ids",
+    "segmented_lexsort",
+    "segmented_lookup",
+    "segmented_searchsorted",
+    "segmented_unique",
+]

@@ -1,0 +1,31 @@
+"""Kernel-engine selection (``REPRO_KERNELS=batched|loop``).
+
+``batched`` (the default) routes the rewritten hot paths through the flat
+segmented kernels of this package; ``loop`` keeps the original per-PE
+reference loops.  The variable is re-read on every call so differential
+tests can flip engines within one process.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Recognised engine names.
+KERNEL_ENGINES = ("batched", "loop")
+
+
+def kernel_engine() -> str:
+    """The active kernel engine, from ``REPRO_KERNELS`` (default batched)."""
+    value = os.environ.get("REPRO_KERNELS", "").strip().lower()
+    if not value:
+        return "batched"
+    if value not in KERNEL_ENGINES:
+        raise ValueError(
+            f"REPRO_KERNELS must be one of {KERNEL_ENGINES}, got {value!r}"
+        )
+    return value
+
+
+def batched_enabled() -> bool:
+    """Whether the batched engine is active."""
+    return kernel_engine() == "batched"

@@ -1,0 +1,215 @@
+"""Segmented kernels: one numpy pass over all PEs' data at once.
+
+Every kernel takes flat arrays plus segment information (ids or offsets) and
+reproduces, per segment, exactly what the corresponding per-PE numpy
+operation computes -- same values, same orders, same dtypes.  This is what
+makes the batched engine a drop-in for the reference loops: a stable
+``lexsort`` keyed by ``(segment, ...)`` restricted to one segment *is* that
+segment's own stable lexsort.
+
+All kernels are O(total log total) or better with no per-segment Python
+loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def segment_ids(offsets: np.ndarray) -> np.ndarray:
+    """Segment id of every flat position for ``p + 1`` offsets."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return np.repeat(np.arange(len(offsets) - 1, dtype=np.int64),
+                     np.diff(offsets))
+
+
+def packed_lexsort(keys: Sequence[np.ndarray]) -> np.ndarray:
+    """Permutation equal to ``np.lexsort(keys)`` (least-significant first).
+
+    Fast path: pack the integer columns into one int64 mixed-radix scalar --
+    strictly monotone in the lexicographic order, equal exactly on full-key
+    ties -- and run a single stable argsort, one sort pass instead of one
+    per key.  Falls back to ``np.lexsort`` when a column is non-integer or
+    the combined value ranges overflow int64.
+    """
+    keys = tuple(keys)
+    if not keys:
+        return np.empty(0, dtype=np.int64)
+    n = len(keys[0])
+    if n <= 64 or len(keys) == 1:
+        # Packing overhead (per-column min/max + astype) only pays off once
+        # the argsort itself dominates; tiny inputs go straight to lexsort.
+        return np.lexsort(keys)
+    capacity = 1
+    cols = []
+    for k in keys:
+        k = np.asarray(k)
+        if k.dtype.kind not in "iub":
+            return np.lexsort(keys)
+        lo = int(k.min())
+        hi = int(k.max())
+        span = hi - lo + 1
+        capacity *= span
+        # Also bail out when raw values themselves overflow int64 arithmetic.
+        if capacity >= (1 << 62) or hi >= (1 << 62) or lo <= -(1 << 62):
+            return np.lexsort(keys)
+        cols.append((k, lo, span))
+    packed = np.zeros(n, dtype=np.int64)
+    for k, lo, span in reversed(cols):  # most-significant column first
+        packed = packed * span + (k.astype(np.int64) - lo)
+    return np.argsort(packed, kind="stable")
+
+
+def segmented_lexsort(keys: Sequence[np.ndarray],
+                      seg_ids: np.ndarray) -> np.ndarray:
+    """Flat permutation equal to a per-segment stable ``np.lexsort``.
+
+    ``keys`` follow numpy's convention (least significant first); the
+    segment id is applied as the most significant key.  Because segments are
+    contiguous and ascending in flat order, the returned permutation maps
+    each segment's range onto itself, so ``perm[off[i]:off[i+1]] - off[i]``
+    is exactly ``np.lexsort(keys_of_segment_i)``.
+    """
+    return packed_lexsort(tuple(keys) + (seg_ids,))
+
+
+def first_in_group(group_ids: np.ndarray) -> np.ndarray:
+    """Mask of the first element of every run of equal adjacent group ids."""
+    n = len(group_ids)
+    first = np.ones(n, dtype=bool)
+    if n > 1:
+        first[1:] = group_ids[1:] != group_ids[:-1]
+    return first
+
+
+def segmented_unique(
+    values: np.ndarray,
+    seg_ids: np.ndarray,
+    n_segments: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment ``np.unique(values, return_inverse=True)`` in one pass.
+
+    Returns ``(uniq, uniq_offsets, inverse)``: ``uniq`` concatenates each
+    segment's sorted distinct values (segment ``i`` spanning
+    ``uniq[uniq_offsets[i]:uniq_offsets[i+1]]``) and ``inverse`` maps every
+    input position to the index of its value *within its own segment's*
+    unique list -- exactly numpy's ``return_inverse`` semantics per segment.
+    """
+    order = packed_lexsort((values, seg_ids))
+    sv = values[order]
+    sseg = seg_ids[order]
+    first = np.ones(len(sv), dtype=bool)
+    if len(sv) > 1:
+        first[1:] = (sv[1:] != sv[:-1]) | (sseg[1:] != sseg[:-1])
+    uniq = sv[first]
+    useg = sseg[first]
+    counts = np.bincount(useg, minlength=n_segments)
+    uniq_offsets = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(counts, out=uniq_offsets[1:])
+    global_rank = np.cumsum(first) - 1
+    inverse = np.empty(len(values), dtype=np.int64)
+    inverse[order] = global_rank - uniq_offsets[sseg]
+    return uniq, uniq_offsets, inverse
+
+
+def segmented_searchsorted(
+    haystack: np.ndarray,
+    hay_offsets: np.ndarray,
+    needles: np.ndarray,
+    needle_seg: np.ndarray,
+    side: str = "left",
+) -> np.ndarray:
+    """Per-segment ``np.searchsorted`` with a different haystack per segment.
+
+    Each segment's haystack slice must be sorted.  Fast path: when the value
+    range is narrow enough, shift each segment's values by ``seg * span`` --
+    the flat haystack becomes globally sorted and one plain binary search
+    answers every query (O((h+q) log h)).  Values too wide to pack fall back
+    to one merged stable lexsort over haystack and needles combined (the
+    same trick as :func:`repro.dgraph.search.lex_searchsorted`, with the
+    segment id as the most significant key).  Either way no per-segment
+    Python loop runs.
+    """
+    if side not in ("left", "right"):
+        raise ValueError("side must be 'left' or 'right'")
+    hay_offsets = np.asarray(hay_offsets, dtype=np.int64)
+    h, q = len(haystack), len(needles)
+    if q == 0:
+        return np.empty(0, dtype=np.int64)
+    if h == 0:
+        return np.zeros(q, dtype=np.int64)
+    haystack = np.asarray(haystack)
+    needles = np.asarray(needles)
+    needle_seg = np.asarray(needle_seg, dtype=np.int64)
+    lo = min(int(haystack.min()), int(needles.min()))
+    hi = max(int(haystack.max()), int(needles.max()))
+    span = hi - lo + 1
+    n_segments = len(hay_offsets) - 1
+    if (haystack.dtype.kind in "iub" and needles.dtype.kind in "iub"
+            and n_segments * span < (1 << 62)  # packed keys fit int64
+            and -(1 << 62) < lo and hi < (1 << 62)):
+        hkey = (haystack.astype(np.int64) - lo
+                + segment_ids(hay_offsets) * span)
+        nkey = needles.astype(np.int64) - lo + needle_seg * span
+        return (np.searchsorted(hkey, nkey, side=side)
+                - hay_offsets[needle_seg])
+    merged = np.concatenate([haystack, needles])
+    seg = np.concatenate([segment_ids(hay_offsets),
+                          np.asarray(needle_seg, dtype=np.int64)])
+    is_query = np.zeros(h + q, dtype=np.int8)
+    is_query[h:] = 1
+    tie = is_query if side == "right" else (1 - is_query)
+    order = np.lexsort((tie, merged, seg))
+    sorted_is_query = is_query[order] == 1
+    keys_before = np.cumsum(~sorted_is_query)
+    qpos = order[sorted_is_query] - h
+    result = np.empty(q, dtype=np.int64)
+    result[qpos] = (keys_before[sorted_is_query]
+                    - hay_offsets[seg[order][sorted_is_query]])
+    return result
+
+
+def segmented_lookup(
+    haystack: np.ndarray,
+    hay_offsets: np.ndarray,
+    needles: np.ndarray,
+    needle_seg: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment :func:`repro.dgraph.search.sorted_lookup` in one pass.
+
+    Returns ``(found, idx)`` with ``idx`` clamped to each segment's valid
+    range (0 for empty segments) and *local* to the segment; the global flat
+    position of a hit is ``hay_offsets[needle_seg] + idx``.
+    """
+    hay_offsets = np.asarray(hay_offsets, dtype=np.int64)
+    needle_seg = np.asarray(needle_seg, dtype=np.int64)
+    idx = segmented_searchsorted(haystack, hay_offsets, needles, needle_seg,
+                                 side="left")
+    lens = np.diff(hay_offsets)[needle_seg]
+    if len(needles) == 0:
+        return np.zeros(0, dtype=bool), idx
+    valid = idx < lens
+    idx = np.minimum(idx, np.maximum(lens - 1, 0))
+    found = np.zeros(len(needles), dtype=bool)
+    nz = lens > 0
+    gpos = hay_offsets[needle_seg] + idx
+    found[nz] = valid[nz] & (haystack[gpos[nz]] == np.asarray(needles)[nz])
+    return found, idx
+
+
+def route_counts(
+    seg_ids: np.ndarray,
+    dests: np.ndarray,
+    n_segments: int,
+    size: int,
+) -> np.ndarray:
+    """Per-segment destination histogram: ``counts[i, d]`` rows of segment
+    ``i`` go to rank ``d``.  One flat bincount over ``seg * size + dest``."""
+    if len(dests) == 0:
+        return np.zeros((n_segments, size), dtype=np.int64)
+    flat = np.asarray(seg_ids, dtype=np.int64) * size \
+        + np.asarray(dests, dtype=np.int64)
+    return np.bincount(flat, minlength=n_segments * size).reshape(
+        n_segments, size)

@@ -23,6 +23,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..kernels.segmented import packed_lexsort
+
 from ..dgraph.edges import Edges
 
 
@@ -32,7 +34,7 @@ def _min_edge_per_group(group: np.ndarray, w: np.ndarray, cu: np.ndarray,
 
     Returns (group labels present, argmin row index per present group).
     """
-    order = np.lexsort((cv, cu, w, group))
+    order = packed_lexsort((cv, cu, w, group))
     g_sorted = group[order]
     first = np.ones(len(g_sorted), dtype=bool)
     first[1:] = g_sorted[1:] != g_sorted[:-1]

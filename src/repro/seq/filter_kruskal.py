@@ -101,8 +101,7 @@ def _filter_msf(edges: Edges, n_vertices: int, base_case: str,
             else:
                 msf_c = boruvka_msf(contracted, n)
                 picked = e_live.take(msf_c.id)
-                for k in range(len(picked)):
-                    uf.union(int(picked.u[k]), int(picked.v[k]))
+                uf.union_edges(picked.u, picked.v)
                 kept_global.append(picked)
             return
         stats.partition_rounds += 1

@@ -88,11 +88,48 @@ class UnionFind:
         on all previous ones) but runs over int64 scalars with compressed
         paths, which is acceptable for the verification-scale inputs here.
         """
-        us = np.asarray(us, dtype=np.int64)
-        vs = np.asarray(vs, dtype=np.int64)
+        us = np.asarray(us, dtype=np.int64).tolist()
+        vs = np.asarray(vs, dtype=np.int64).tolist()
         out = np.zeros(len(us), dtype=bool)
+        # find/union inlined: this loop runs millions of times under
+        # Filter-Boruvka and method-call overhead dominates.  When the edge
+        # count justifies the O(n) conversion, run it over plain Python
+        # lists -- list indexing beats numpy scalar indexing several-fold.
+        use_lists = len(us) * 4 > len(self.parent)
+        if use_lists:
+            parent = self.parent.tolist()
+            rank = self.rank.tolist()
+        else:
+            parent = self.parent
+            rank = self.rank
+        n_components = self.n_components
         for k in range(len(us)):
-            out[k] = self.union(int(us[k]), int(vs[k]))
+            a, b = us[k], vs[k]
+            root = a
+            while parent[root] != root:
+                root = parent[root]
+            while parent[a] != root:
+                parent[a], a = root, parent[a]
+            ra = root
+            root = b
+            while parent[root] != root:
+                root = parent[root]
+            while parent[b] != root:
+                parent[b], b = root, parent[b]
+            rb = root
+            if ra == rb:
+                continue
+            if rank[ra] < rank[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            if rank[ra] == rank[rb]:
+                rank[ra] += 1
+            n_components -= 1
+            out[k] = True
+        if use_lists:
+            self.parent[:] = parent
+            self.rank[:] = rank
+        self.n_components = n_components
         return out
 
     def components(self) -> np.ndarray:

@@ -49,6 +49,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import RaggedArrays, batched_enabled, route_counts
+from ..kernels.segmented import packed_lexsort
 from .collectives import Comm
 
 #: Average-bytes-per-message threshold below which the auto dispatcher picks
@@ -73,17 +75,21 @@ def _validate(sendbufs: Sequence[np.ndarray], sendcounts: Sequence[np.ndarray],
               size: int) -> np.ndarray:
     if len(sendbufs) != size or len(sendcounts) != size:
         raise ValueError(f"need {size} send buffers/count vectors")
-    counts = np.zeros((size, size), dtype=np.int64)
+    counts = np.empty((size, size), dtype=np.int64)
     for i in range(size):
         c = np.asarray(sendcounts[i], dtype=np.int64)
         if c.shape != (size,):
             raise ValueError(f"sendcounts[{i}] must have length {size}")
-        if c.sum() != len(sendbufs[i]):
-            raise ValueError(
-                f"sendcounts[{i}] sums to {c.sum()} but buffer has "
-                f"{len(sendbufs[i])} rows"
-            )
         counts[i] = c
+    buf_lens = np.fromiter((len(b) for b in sendbufs), dtype=np.int64,
+                           count=size)
+    bad = np.flatnonzero(counts.sum(axis=1) != buf_lens)
+    if len(bad):
+        i = int(bad[0])
+        raise ValueError(
+            f"sendcounts[{i}] sums to {counts[i].sum()} but buffer has "
+            f"{len(sendbufs[i])} rows"
+        )
     return counts
 
 
@@ -102,18 +108,28 @@ def _move(sendbufs: Sequence[np.ndarray], counts: np.ndarray
             template = b
             break
     assert template is not None
-    big = np.concatenate([np.atleast_1d(b) for b in sendbufs], axis=0)
+    big = np.concatenate(
+        [b if isinstance(b, np.ndarray) and b.ndim else np.atleast_1d(b)
+         for b in sendbufs], axis=0)
     if len(big) == 0:
         return [_empty_like_rows(template) for _ in range(size)], counts
-    # Destination rank of every row, source-major order.
-    dst_of_row = np.concatenate(
-        [np.repeat(np.arange(size), counts[i]) for i in range(size)]
-    )
-    order = np.argsort(dst_of_row, kind="stable")
+    # ``big`` is laid out in (src, dst) cell-major order; receivers need
+    # (dst, src)-major.  The stable sort by destination is exactly the block
+    # transpose of the cell structure, so build the gather index directly in
+    # O(rows + size^2) instead of an O(rows log rows) argsort.
+    lens = counts.ravel()
+    src_start = np.zeros(size * size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=src_start[1:])
+    cells = np.arange(size * size).reshape(size, size).T.ravel()
+    tlens = lens[cells]
+    dst_start = np.zeros(size * size, dtype=np.int64)
+    np.cumsum(tlens[:-1], out=dst_start[1:])
+    order = np.arange(len(big)) + np.repeat(src_start[cells] - dst_start,
+                                            tlens)
     routed = big[order]
-    per_dst = counts.sum(axis=0)
-    splits = np.cumsum(per_dst)[:-1]
-    recvbufs = [np.ascontiguousarray(part) for part in np.split(routed, splits)]
+    offs = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(counts.sum(axis=0), out=offs[1:])
+    recvbufs = [routed[offs[j]:offs[j + 1]] for j in range(size)]
     return recvbufs, counts
 
 
@@ -149,11 +165,10 @@ def alltoallv_direct(
                     default=8)
     bytes_out = counts.sum(axis=1).astype(np.float64) * row_bytes
     bytes_in = counts.sum(axis=0).astype(np.float64) * row_bytes
-    cost = np.array([
-        comm.machine.cost.alltoall_dense(size, bytes_out[r], bytes_in[r],
-                                         comm.machine.threads)
-        for r in range(size)
-    ])
+    # alltoall_dense is elementwise in its byte arguments, so one array call
+    # computes every rank's cost with the exact scalar-loop float semantics.
+    cost = comm.machine.cost.alltoall_dense(size, bytes_out, bytes_in,
+                                            comm.machine.threads)
     comm.machine.bytes_communicated += float(bytes_out.sum())
     _record_trace(comm, counts, row_bytes)
     comm._sync_and_charge(cost)
@@ -211,18 +226,34 @@ def alltoallv_grid(
     # ---- Phase 1: route rows to their intermediates (within columns). ----
     # Each row additionally carries (final_dst, orig_src); these metadata
     # travel as parallel payloads through the same exchanges.
-    phase1_counts = np.zeros((size, size), dtype=np.int64)
-    p1_bufs: List[np.ndarray] = []
-    p1_dst: List[np.ndarray] = []
-    p1_src: List[np.ndarray] = []
-    for i in range(size):
-        dst_of_row = np.repeat(np.arange(size), counts[i])
-        t_of_row = T[i][dst_of_row] if len(dst_of_row) else dst_of_row
-        order = np.argsort(t_of_row, kind="stable")
-        p1_bufs.append(np.atleast_1d(sendbufs[i])[order])
-        p1_dst.append(dst_of_row[order])
-        p1_src.append(np.full(len(order), i, dtype=np.int64))
-        np.add.at(phase1_counts[i], t_of_row, 1)
+    if batched_enabled():
+        row_lens = counts.sum(axis=1)
+        src_of_row = np.repeat(np.arange(size), row_lens)
+        dst_of_row = np.repeat(np.tile(np.arange(size), size), counts.ravel())
+        t_of_row = T[src_of_row, dst_of_row]
+        order_g = packed_lexsort((t_of_row, src_of_row))
+        big = np.concatenate([np.atleast_1d(b) for b in sendbufs], axis=0)
+        off = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(row_lens, out=off[1:])
+        sorted_rows = big[order_g]
+        sorted_dst = dst_of_row[order_g]
+        p1_bufs = [sorted_rows[off[i]:off[i + 1]] for i in range(size)]
+        p1_dst = [sorted_dst[off[i]:off[i + 1]] for i in range(size)]
+        p1_src = [src_of_row[off[i]:off[i + 1]] for i in range(size)]
+        phase1_counts = route_counts(src_of_row, t_of_row, size, size)
+    else:
+        phase1_counts = np.zeros((size, size), dtype=np.int64)
+        p1_bufs = []
+        p1_dst = []
+        p1_src = []
+        for i in range(size):
+            dst_of_row = np.repeat(np.arange(size), counts[i])
+            t_of_row = T[i][dst_of_row] if len(dst_of_row) else dst_of_row
+            order = np.argsort(t_of_row, kind="stable")
+            p1_bufs.append(np.atleast_1d(sendbufs[i])[order])
+            p1_dst.append(dst_of_row[order])
+            p1_src.append(np.full(len(order), i, dtype=np.int64))
+            np.add.at(phase1_counts[i], t_of_row, 1)
     mid_bufs, _ = _move(p1_bufs, phase1_counts)
     mid_dst, _ = _move(p1_dst, phase1_counts)
     mid_src, _ = _move(p1_src, phase1_counts)
@@ -230,36 +261,43 @@ def alltoallv_grid(
     # Phase-1 cost: an all-to-all within each grid column (group size <= r).
     bytes_out1 = phase1_counts.sum(axis=1).astype(np.float64) * row_bytes
     bytes_in1 = phase1_counts.sum(axis=0).astype(np.float64) * row_bytes
-    cost1 = np.array([
-        comm.machine.cost.alltoall_dense(r, bytes_out1[k], bytes_in1[k],
-                                         comm.machine.threads)
-        for k in range(size)
-    ])
+    cost1 = comm.machine.cost.alltoall_dense(r, bytes_out1, bytes_in1,
+                                             comm.machine.threads)
     comm.machine.bytes_communicated += float(bytes_out1.sum())
     _record_trace(comm, phase1_counts, row_bytes)
     comm._sync_and_charge(cost1)
 
     # ---- Phase 2: deliver from intermediates to final destinations. ----
-    phase2_counts = np.zeros((size, size), dtype=np.int64)
-    p2_bufs: List[np.ndarray] = []
-    p2_src: List[np.ndarray] = []
-    for t in range(size):
-        d = mid_dst[t]
-        order = np.argsort(d, kind="stable")
-        p2_bufs.append(mid_bufs[t][order])
-        p2_src.append(mid_src[t][order])
-        np.add.at(phase2_counts[t], d, 1)
+    if batched_enabled():
+        mid_r = RaggedArrays.from_arrays(mid_dst)
+        seg = mid_r.segment_ids()
+        order_g = packed_lexsort((mid_r.flat, seg))
+        moff = mid_r.offsets
+        big = np.concatenate([np.atleast_1d(b) for b in mid_bufs], axis=0)
+        src_flat = np.concatenate(mid_src)
+        sorted_rows = big[order_g]
+        sorted_src = src_flat[order_g]
+        p2_bufs = [sorted_rows[moff[t]:moff[t + 1]] for t in range(size)]
+        p2_src = [sorted_src[moff[t]:moff[t + 1]] for t in range(size)]
+        phase2_counts = route_counts(seg, mid_r.flat, size, size)
+    else:
+        phase2_counts = np.zeros((size, size), dtype=np.int64)
+        p2_bufs = []
+        p2_src = []
+        for t in range(size):
+            d = mid_dst[t]
+            order = np.argsort(d, kind="stable")
+            p2_bufs.append(mid_bufs[t][order])
+            p2_src.append(mid_src[t][order])
+            np.add.at(phase2_counts[t], d, 1)
     out_bufs, _ = _move(p2_bufs, phase2_counts)
     out_src, _ = _move(p2_src, phase2_counts)
 
     group2 = c + (0 if size == c * r else 2)
     bytes_out2 = phase2_counts.sum(axis=1).astype(np.float64) * row_bytes
     bytes_in2 = phase2_counts.sum(axis=0).astype(np.float64) * row_bytes
-    cost2 = np.array([
-        comm.machine.cost.alltoall_dense(group2, bytes_out2[k], bytes_in2[k],
-                                         comm.machine.threads)
-        for k in range(size)
-    ])
+    cost2 = comm.machine.cost.alltoall_dense(group2, bytes_out2, bytes_in2,
+                                             comm.machine.threads)
     comm.machine.bytes_communicated += float(bytes_out2.sum())
     _record_trace(comm, phase2_counts, row_bytes)
     comm._sync_and_charge(cost2)
@@ -274,6 +312,17 @@ def alltoallv_grid(
         )
 
     # ---- Restore the MPI_Alltoallv contract: rows source-major. ----
+    if batched_enabled():
+        src_r = RaggedArrays.from_arrays(out_src)
+        seg = src_r.segment_ids()
+        order_g = packed_lexsort((src_r.flat, seg))
+        soff = src_r.offsets
+        big = np.concatenate([np.atleast_1d(b) for b in out_bufs], axis=0)
+        sorted_rows = np.ascontiguousarray(big[order_g])
+        recvbufs = [sorted_rows[soff[j]:soff[j + 1]] for j in range(size)]
+        rc_mat = route_counts(seg, src_r.flat, size, size)
+        recvcounts = [rc_mat[j] for j in range(size)]
+        return recvbufs, recvcounts
     recvbufs: List[np.ndarray] = []
     recvcounts: List[np.ndarray] = []
     for j in range(size):
@@ -429,6 +478,34 @@ def route_rows(
     """
     size = comm.size
     fn = ALLTOALL_METHODS[method]
+    if batched_enabled():
+        rows_r = RaggedArrays.from_arrays(rows_per_pe)
+        dest_r = RaggedArrays.from_arrays(
+            [np.asarray(d, dtype=np.int64) for d in dest_per_row])
+        mismatch = np.flatnonzero(rows_r.lengths != dest_r.lengths)
+        if len(mismatch):
+            i = int(mismatch[0])
+            raise ValueError(
+                f"PE {i}: {rows_r.lengths[i]} rows but "
+                f"{dest_r.lengths[i]} destinations"
+            )
+        seg = rows_r.segment_ids()
+        order_g = packed_lexsort((dest_r.flat, seg))
+        off = rows_r.offsets
+        sorted_rows = rows_r.flat[order_g]
+        sendbufs = [sorted_rows[off[i]:off[i + 1]] for i in range(size)]
+        counts_mat = route_counts(seg, dest_r.flat, size, size)
+        sendcounts = [counts_mat[i] for i in range(size)]
+        local_order = order_g - np.repeat(off[:-1], rows_r.lengths)
+        orders = [local_order[off[i]:off[i + 1]] for i in range(size)]
+        recvbufs, recvcounts = fn(comm, sendbufs, sendcounts)
+        rc_mat = np.stack([np.asarray(rc) for rc in recvcounts])
+        src_flat = np.repeat(np.tile(np.arange(size), size), rc_mat.ravel())
+        rlens = rc_mat.sum(axis=1)
+        roff = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(rlens, out=roff[1:])
+        recv_src = [src_flat[roff[i]:roff[i + 1]] for i in range(size)]
+        return recvbufs, recv_src, orders
     sendbufs: List[np.ndarray] = []
     sendcounts: List[np.ndarray] = []
     orders: List[np.ndarray] = []

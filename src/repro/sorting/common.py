@@ -12,6 +12,9 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..kernels import RaggedArrays, batched_enabled, segmented_lexsort
+from ..kernels.segmented import packed_lexsort
+
 
 def as_row_matrix(x: np.ndarray) -> np.ndarray:
     """Coerce to a 2-D int64 row matrix (1-D input becomes one column)."""
@@ -28,7 +31,21 @@ def local_lexsort(rows: np.ndarray, n_key_cols: int) -> np.ndarray:
     if len(rows) <= 1:
         return rows
     keys = tuple(rows[:, c] for c in reversed(range(n_key_cols)))
-    return rows[np.lexsort(keys)]
+    return rows[packed_lexsort(keys)]
+
+
+def local_lexsort_parts(parts: Sequence[np.ndarray],
+                        n_key_cols: int) -> List[np.ndarray]:
+    """Every PE's :func:`local_lexsort` -- one segmented lexsort when batched."""
+    if not batched_enabled():
+        return [local_lexsort(x, n_key_cols) for x in parts]
+    r = RaggedArrays.from_arrays(parts)
+    if len(r.flat) == 0:
+        return list(parts)
+    keys = tuple(r.flat[:, c] for c in reversed(range(n_key_cols)))
+    order = segmented_lexsort(keys, r.segment_ids())
+    s = r.flat[order]
+    return [s[r.offsets[i]:r.offsets[i + 1]] for i in range(r.n_segments)]
 
 
 def is_locally_sorted(rows: np.ndarray, n_key_cols: int) -> bool:
@@ -81,13 +98,21 @@ def rebalance_blocks(comm, parts: Sequence[np.ndarray],
     total = int(np.sum(sizes))
     if total == 0:
         return [part.copy() for part in parts]
-    dests = []
-    for i in range(p):
-        if sizes[i] == 0:
-            dests.append(np.empty(0, dtype=np.int64))
-            continue
-        global_idx = offsets[i] + np.arange(sizes[i], dtype=np.int64)
-        dests.append(owner_of(global_idx, total, p))
+    if batched_enabled():
+        # Concatenated per-PE global indices are exactly arange(total): the
+        # exscan offsets are the cumulative sizes in rank order.
+        dest_flat = owner_of(np.arange(total, dtype=np.int64), total, p)
+        soff = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(np.asarray(sizes, dtype=np.int64), out=soff[1:])
+        dests = [dest_flat[soff[i]:soff[i + 1]] for i in range(p)]
+    else:
+        dests = []
+        for i in range(p):
+            if sizes[i] == 0:
+                dests.append(np.empty(0, dtype=np.int64))
+                continue
+            global_idx = offsets[i] + np.arange(sizes[i], dtype=np.int64)
+            dests.append(owner_of(global_idx, total, p))
     recv, _, _ = route_rows(comm, parts, dests, method=method)
     # Rows arrive source-major = global order (sources are ordered runs).
     return recv

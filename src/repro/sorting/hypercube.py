@@ -24,6 +24,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..kernels import RaggedArrays, batched_enabled
 from ..simmpi.alltoall import route_rows
 from ..simmpi.collectives import Comm
 from .common import as_row_matrix, local_lexsort
@@ -88,7 +89,13 @@ def sort_hypercube(
         pivot = keys[len(keys) // 2]
 
         # --- Partition and detect degenerate splits. ---
-        low_masks = [_le_pivot(x, pivot, n_key_cols) for x in sub_parts]
+        if batched_enabled():
+            r = RaggedArrays.from_arrays(sub_parts)
+            mask_flat = _le_pivot(r.flat, pivot, n_key_cols)
+            low_masks = [mask_flat[r.offsets[k]:r.offsets[k + 1]]
+                         for k in range(g)]
+        else:
+            low_masks = [_le_pivot(x, pivot, n_key_cols) for x in sub_parts]
         machine.charge_scan(np.array([len(x) for x in sub_parts]),
                             ranks=sub.ranks)
         low_total = int(sub.allreduce([int(m.sum()) for m in low_masks]))
@@ -125,18 +132,45 @@ def sort_hypercube(
                 low_masks = [_eq_key(x, pivot, n_key_cols) for x in sub_parts]
 
         # --- Scatter low rows over the lower half, high over the upper. ---
-        rows_out = []
-        dest_out = []
-        for r in range(g):
-            mask = low_masks[r]
-            rows = sub_parts[r]
-            low_rows, high_rows = rows[mask], rows[~mask]
-            dl = np.asarray(lows, dtype=np.int64)[
-                np.arange(len(low_rows)) % len(lows)]
-            dh = np.asarray(highs, dtype=np.int64)[
-                np.arange(len(high_rows)) % len(highs)]
-            rows_out.append(np.concatenate([low_rows, high_rows], axis=0))
-            dest_out.append(np.concatenate([dl, dh]))
+        if batched_enabled():
+            r = RaggedArrays.from_arrays(sub_parts)
+            mask_flat = np.concatenate(low_masks) if len(r.flat) \
+                else np.zeros(0, dtype=bool)
+            seg = r.segment_ids()
+            high_flag = (~mask_flat).astype(np.int8)
+            # Stable per-segment reorder: low rows first, both in original
+            # order -- identical to the per-PE concatenate([low, high]).
+            order = np.lexsort((high_flag, seg))
+            rows_flat = r.flat[order]
+            is_high = high_flag[order].astype(bool)
+            pos = (np.arange(len(r.flat), dtype=np.int64)
+                   - np.repeat(r.offsets[:-1], r.lengths))
+            nlow = np.bincount(seg[mask_flat], minlength=g)
+            lows_arr = np.asarray(lows, dtype=np.int64)
+            highs_arr = np.asarray(highs, dtype=np.int64)
+            k_high = pos - nlow[seg]
+            dest_flat = np.where(
+                is_high,
+                highs_arr[k_high % len(highs)],
+                lows_arr[pos % len(lows)],
+            )
+            rows_out = [rows_flat[r.offsets[k]:r.offsets[k + 1]]
+                        for k in range(g)]
+            dest_out = [dest_flat[r.offsets[k]:r.offsets[k + 1]]
+                        for k in range(g)]
+        else:
+            rows_out = []
+            dest_out = []
+            for rk in range(g):
+                mask = low_masks[rk]
+                rows = sub_parts[rk]
+                low_rows, high_rows = rows[mask], rows[~mask]
+                dl = np.asarray(lows, dtype=np.int64)[
+                    np.arange(len(low_rows)) % len(lows)]
+                dh = np.asarray(highs, dtype=np.int64)[
+                    np.arange(len(high_rows)) % len(highs)]
+                rows_out.append(np.concatenate([low_rows, high_rows], axis=0))
+                dest_out.append(np.concatenate([dl, dh]))
         recv, _, _ = route_rows(sub, rows_out, dest_out, method="auto")
 
         left = recurse(sub.sub(lows), recv[:g_low], depth + 1)

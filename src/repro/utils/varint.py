@@ -40,9 +40,9 @@ def encode_varints(values: np.ndarray) -> np.ndarray:
     v = np.asarray(values, dtype=np.uint64)
     if v.size == 0:
         return np.empty(0, dtype=np.uint8)
-    # Number of 7-bit groups per value (at least one).
-    nbits = np.maximum(64 - _clz64(v), 1)
-    ngroups = (nbits + 6) // 7
+    # Number of 7-bit groups per value (at least one): one binary search
+    # against the nine 2^(7g) thresholds instead of a per-bit clz sweep.
+    ngroups = np.searchsorted(_GROUP_THRESHOLDS, v, side="right") + 1
     total = int(ngroups.sum())
     out = np.empty(total, dtype=np.uint8)
     # Position of each value's first byte.
@@ -74,12 +74,20 @@ def decode_varints(stream: np.ndarray) -> np.ndarray:
     # Position of each byte within its value.
     starts = np.flatnonzero(np.concatenate(([True], is_last[:-1])))
     byte_pos = np.arange(len(b)) - starts[value_id]
-    if byte_pos.max() * 7 >= 64 + 7:
+    # A 64-bit value needs at most 10 varint bytes (9 * 7 = 63 payload bits
+    # before the last byte).  An 11th byte (byte_pos 10) would shift its
+    # payload past bit 63 and silently vanish, so reject it outright.
+    if byte_pos.max() >= 10:
         raise ValueError("varint too long for 64-bit value")
     payload = (b & 0x7F).astype(np.uint64) << (byte_pos.astype(np.uint64) * np.uint64(7))
     out = np.zeros(n_values, dtype=np.uint64)
     np.add.at(out, value_id, payload)
     return out
+
+
+# Smallest value needing g+1 varint bytes, for g = 1..9.
+_GROUP_THRESHOLDS = np.uint64(1) << (
+    np.uint64(7) * np.arange(1, 10, dtype=np.uint64))
 
 
 def _clz64(v: np.ndarray) -> np.ndarray:

@@ -1,0 +1,349 @@
+"""Tests for the batched segmented-kernel engine (repro.kernels).
+
+Three layers:
+
+* unit tests for :class:`RaggedArrays` and each segmented kernel against the
+  per-segment numpy operation it replaces;
+* unit tests for :func:`repro.dgraph.search.sorted_lookup` (the shared
+  clamped-searchsorted helper);
+* differential tests running the full algorithms under ``REPRO_KERNELS=loop``
+  and ``=batched`` and asserting the hard invariant of docs/kernels.md:
+  simulated clocks, phase breakdowns, communication traces and MST weights
+  are bit-for-bit identical -- only wall-clock may differ.  The property
+  suite draws random instances with hypothesis; the sanitizer suite re-runs
+  the adversarial detections under both engines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BoruvkaConfig,
+    FilterConfig,
+    MSTRun,
+    contract_components,
+    distributed_boruvka,
+    distributed_filter_boruvka,
+    min_edges,
+)
+from repro.dgraph import DistGraph
+from repro.dgraph.search import sorted_lookup
+from repro.graphgen import FAMILIES, gen_family
+from repro.kernels import (
+    KERNEL_ENGINES,
+    RaggedArrays,
+    batched_enabled,
+    first_in_group,
+    kernel_engine,
+    packed_lexsort,
+    route_counts,
+    segment_ids,
+    segmented_lexsort,
+    segmented_lookup,
+    segmented_searchsorted,
+    segmented_unique,
+)
+from repro.simmpi import Machine
+
+from helpers import random_simple_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+def ragged_case(rng, p=6, max_len=40, lo=0, hi=50):
+    parts = [rng.integers(lo, hi, rng.integers(0, max_len))
+             for _ in range(p)]
+    return RaggedArrays.from_arrays(parts), parts
+
+
+class TestEngineKnob:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        assert kernel_engine() == "batched"
+        assert batched_enabled()
+
+    def test_env_selects_loop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "loop")
+        assert kernel_engine() == "loop"
+        assert not batched_enabled()
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "vectorised")
+        with pytest.raises(ValueError):
+            kernel_engine()
+
+    def test_engines_constant(self):
+        assert set(KERNEL_ENGINES) == {"batched", "loop"}
+
+
+class TestRaggedArrays:
+    def test_roundtrip(self, rng):
+        r, parts = ragged_case(rng)
+        assert r.n_segments == len(parts)
+        assert np.array_equal(r.lengths, [len(x) for x in parts])
+        for i, part in enumerate(parts):
+            assert np.array_equal(r.segment(i), part)
+        for back, part in zip(r.to_arrays(), parts):
+            assert np.array_equal(back, part)
+
+    def test_segment_ids(self, rng):
+        r, parts = ragged_case(rng)
+        expected = np.repeat(np.arange(len(parts)),
+                             [len(x) for x in parts])
+        assert np.array_equal(r.segment_ids(), expected)
+        assert np.array_equal(segment_ids(r.offsets), expected)
+
+    def test_empty_segments_and_empty_list(self):
+        r = RaggedArrays.from_arrays([np.empty(0, np.int64)] * 3)
+        assert r.n_segments == 3 and len(r) == 0
+        r0 = RaggedArrays.from_arrays([])
+        assert r0.n_segments == 0 and len(r0) == 0
+
+    def test_rows_matrix(self, rng):
+        parts = [rng.integers(0, 9, (rng.integers(0, 5), 3))
+                 for _ in range(4)]
+        r = RaggedArrays.from_arrays(parts)
+        for i, part in enumerate(parts):
+            assert np.array_equal(r.segment(i), part)
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            RaggedArrays(np.arange(5), np.array([0, 3]))
+
+    def test_offsets_template(self, rng):
+        r, _ = ragged_case(rng)
+        doubled = RaggedArrays.from_offsets_template(r.flat * 2, r)
+        assert np.array_equal(doubled.offsets, r.offsets)
+
+
+class TestSegmentedKernels:
+    def test_lexsort_matches_per_segment(self, rng):
+        r, parts = ragged_case(rng)
+        k2 = rng.integers(0, 5, len(r.flat))
+        order = segmented_lexsort((r.flat, k2), r.segment_ids())
+        for i in range(r.n_segments):
+            lo, hi = r.offsets[i], r.offsets[i + 1]
+            local = order[lo:hi] - lo
+            ref = np.lexsort((parts[i], k2[lo:hi]))
+            assert np.array_equal(local, ref), i
+
+    def test_first_in_group(self):
+        g = np.array([0, 0, 1, 1, 1, 3, 4, 4])
+        assert np.array_equal(first_in_group(g),
+                              [1, 0, 1, 0, 0, 1, 1, 0])
+        assert first_in_group(np.empty(0, np.int64)).shape == (0,)
+
+    def test_unique_matches_per_segment(self, rng):
+        r, parts = ragged_case(rng, hi=10)
+        uniq, uoff, inv = segmented_unique(r.flat, r.segment_ids(),
+                                           r.n_segments)
+        for i, part in enumerate(parts):
+            ref_u, ref_inv = np.unique(part, return_inverse=True)
+            assert np.array_equal(uniq[uoff[i]:uoff[i + 1]], ref_u), i
+            assert np.array_equal(inv[r.offsets[i]:r.offsets[i + 1]],
+                                  ref_inv), i
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_searchsorted_matches_per_segment(self, rng, side):
+        p = 6
+        hay = [np.sort(rng.integers(0, 30, rng.integers(0, 20)))
+               for _ in range(p)]
+        hr = RaggedArrays.from_arrays(hay)
+        needles = rng.integers(0, 30, 100)
+        seg = rng.integers(0, p, 100)
+        got = segmented_searchsorted(hr.flat, hr.offsets, needles, seg, side)
+        for i in range(p):
+            m = seg == i
+            assert np.array_equal(got[m],
+                                  np.searchsorted(hay[i], needles[m],
+                                                  side=side)), i
+
+    def test_lookup_matches_sorted_lookup(self, rng):
+        p = 5
+        hay = [np.unique(rng.integers(0, 40, rng.integers(0, 25)))
+               for _ in range(p)]
+        hay[2] = hay[2][:0]  # one empty haystack segment
+        hr = RaggedArrays.from_arrays(hay)
+        needles = rng.integers(0, 40, 80)
+        seg = rng.integers(0, p, 80)
+        found, idx = segmented_lookup(hr.flat, hr.offsets, needles, seg)
+        for i in range(p):
+            m = seg == i
+            ref_found, ref_idx = sorted_lookup(hay[i], needles[m])
+            assert np.array_equal(found[m], ref_found), i
+            assert np.array_equal(idx[m], ref_idx), i
+
+    def test_packed_lexsort_matches_np_lexsort(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(0, 60))
+            keys = tuple(rng.integers(0, rng.integers(2, 300), n)
+                         for _ in range(int(rng.integers(1, 5))))
+            assert np.array_equal(packed_lexsort(keys), np.lexsort(keys))
+
+    def test_packed_lexsort_wide_range_falls_back(self, rng):
+        # Values too wide to pack must still sort exactly like np.lexsort.
+        a = rng.integers(-(2 ** 62), 2 ** 62, 50)
+        b = rng.integers(0, 3, 50)
+        assert np.array_equal(packed_lexsort((a, b)), np.lexsort((a, b)))
+        big = np.array([2 ** 62 + 5, 2 ** 62 + 1, 2 ** 62 + 3])
+        assert np.array_equal(packed_lexsort((big,) * 2),
+                              np.lexsort((big,) * 2))
+
+    def test_packed_lexsort_stability(self):
+        # Equal full keys must keep input order (np.lexsort is stable).
+        a = np.array([1, 1, 0, 1, 0])
+        w = np.array([7, 7, 7, 7, 7])
+        assert np.array_equal(packed_lexsort((w, a)), np.lexsort((w, a)))
+
+    def test_route_counts_matches_bincount(self, rng):
+        p, size = 5, 7
+        dest_parts = [rng.integers(0, size, rng.integers(0, 30))
+                      for _ in range(p)]
+        r = RaggedArrays.from_arrays(dest_parts)
+        mat = route_counts(r.segment_ids(), r.flat, p, size)
+        for i in range(p):
+            assert np.array_equal(mat[i],
+                                  np.bincount(dest_parts[i],
+                                              minlength=size)), i
+        assert route_counts(np.empty(0, np.int64), np.empty(0, np.int64),
+                            p, size).sum() == 0
+
+
+class TestSortedLookup:
+    def test_hits_and_misses(self):
+        hay = np.array([2, 5, 9, 40])
+        found, idx = sorted_lookup(hay, np.array([5, 3, 40, 99, 2]))
+        assert np.array_equal(found, [True, False, True, False, True])
+        assert np.array_equal(hay[idx[found]], [5, 40, 2])
+
+    def test_empty_haystack(self):
+        found, idx = sorted_lookup(np.empty(0, np.int64),
+                                   np.array([1, 2, 3]))
+        assert not found.any()
+        assert np.array_equal(idx, [0, 0, 0])  # clamped, safe to index with
+
+    def test_all_missing(self):
+        found, _ = sorted_lookup(np.array([10, 20, 30]),
+                                 np.array([1, 15, 25, 99]))
+        assert not found.any()
+
+    def test_empty_needles(self):
+        found, idx = sorted_lookup(np.array([1, 2]), np.empty(0, np.int64))
+        assert len(found) == 0 and len(idx) == 0
+
+
+# ---------------------------------------------------------------------------
+# Differential: the two engines must be simulated-behavior identical.
+# ---------------------------------------------------------------------------
+
+def run_engine(monkeypatch, engine, graph, p, threads, algo, cfg):
+    """One full run under ``engine``; returns everything simulated."""
+    monkeypatch.setenv("REPRO_KERNELS", engine)
+    machine = Machine(p, threads=threads, sanitize=True, trace=True)
+    if hasattr(graph, "distribute"):  # GeneratedGraph
+        dg = graph.distribute(machine)
+    else:  # raw Edges
+        dg = DistGraph.from_global_edges(machine, graph)
+    result = algo(dg, cfg)
+    return {
+        "weight": result.total_weight,
+        "clock": machine.clock.copy(),
+        "phases": dict(machine.phase_times),
+        "phases_per_pe": {k: v.copy()
+                          for k, v in machine.phase_times_per_pe.items()},
+        "trace": machine.trace.matrix.copy(),
+    }
+
+
+def assert_engines_agree(monkeypatch, graph, p, threads, algo, cfg):
+    out = {e: run_engine(monkeypatch, e, graph, p, threads, algo, cfg)
+           for e in KERNEL_ENGINES}
+    a, b = out["batched"], out["loop"]
+    assert a["weight"] == b["weight"]
+    assert np.array_equal(a["clock"], b["clock"]), (
+        "simulated clocks differ between kernel engines")
+    assert a["phases"] == b["phases"]
+    assert a["phases_per_pe"].keys() == b["phases_per_pe"].keys()
+    for k in a["phases_per_pe"]:
+        assert np.array_equal(a["phases_per_pe"][k],
+                              b["phases_per_pe"][k]), k
+    assert np.array_equal(a["trace"], b["trace"])
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("p,threads", [(1, 1), (5, 1), (7, 8), (16, 1)])
+    @pytest.mark.parametrize("method", ["direct", "grid", "hypercube"])
+    def test_boruvka_bit_identical(self, rng, monkeypatch, p, threads,
+                                   method):
+        g = random_simple_graph(rng, 60, 300)
+        cfg = BoruvkaConfig(alltoall=method, base_case_min=16)
+        assert_engines_agree(monkeypatch, g, p, threads,
+                             distributed_boruvka, cfg)
+
+    @pytest.mark.parametrize("p", [5, 16])
+    def test_filter_boruvka_bit_identical(self, rng, monkeypatch, p):
+        g = random_simple_graph(rng, 80, 400)
+        assert_engines_agree(monkeypatch, g, p, 1,
+                             distributed_filter_boruvka, FilterConfig())
+
+    @pytest.mark.parametrize("p,method", [(3, "direct"), (7, "grid"),
+                                          (16, "direct")])
+    def test_awerbuch_shiloach_bit_identical(self, rng, monkeypatch, p,
+                                             method):
+        from repro.competitors.awerbuch_shiloach import awerbuch_shiloach_msf
+
+        g = random_simple_graph(rng, 70, 350)
+        cfg = BoruvkaConfig(alltoall=method)
+        assert_engines_agree(monkeypatch, g, p, 1, awerbuch_shiloach_msf,
+                             cfg)
+
+    @given(family=st.sampled_from(FAMILIES), n=st.integers(16, 90),
+           m_per_n=st.integers(1, 4), seed=st.integers(0, 2 ** 16),
+           p=st.integers(1, 8),
+           alltoall=st.sampled_from(["auto", "direct", "grid", "grid3",
+                                     "hypercube"]))
+    def test_property_engines_agree(self, family, n, m_per_n, seed, p,
+                                    alltoall):
+        graph = gen_family(family, n, m_per_n * n, seed=seed)
+        cfg = BoruvkaConfig(alltoall=alltoall, base_case_min=8)
+        # monkeypatch is function-scoped and hypothesis reuses the test
+        # function, so patch the environment per-example instead.
+        with pytest.MonkeyPatch.context() as mp:
+            assert_engines_agree(mp, graph, p, 1, distributed_boruvka, cfg)
+
+
+class TestEngineSanitizer:
+    """The adversarial sanitizer detections must fire under both engines."""
+
+    @pytest.mark.parametrize("engine", KERNEL_ENGINES)
+    def test_clean_run_under_sanitizer(self, rng, monkeypatch, engine):
+        monkeypatch.setenv("REPRO_KERNELS", engine)
+        g = random_simple_graph(rng, 80, 400)
+        for algo, cfg in ((distributed_boruvka,
+                           BoruvkaConfig(base_case_min=16)),
+                          (distributed_filter_boruvka, FilterConfig())):
+            machine = Machine(6, sanitize=True)
+            dg = DistGraph.from_global_edges(machine, g)
+            algo(dg, cfg)
+            assert machine.sanitizer.counters["collectives"] > 0
+            assert machine.sanitizer.counters["charges"] > 0
+
+    @pytest.mark.parametrize("engine", KERNEL_ENGINES)
+    def test_unknown_vertex_query_detected(self, rng, monkeypatch, engine):
+        monkeypatch.setenv("REPRO_KERNELS", engine)
+        g = random_simple_graph(rng, 50, 250)
+        machine = Machine(5, sanitize=True)
+        dg = DistGraph.from_global_edges(machine, g)
+        run = MSTRun(machine, BoruvkaConfig())
+        chosen = min_edges(dg)
+        victim = next(i for i, c in enumerate(chosen)
+                      if len(c) and not c.shared.all())
+        k = int(np.flatnonzero(~chosen[victim].shared)[0])
+        with machine.on_pe(victim):
+            chosen[victim].to[k] = 10 ** 9
+        with pytest.raises(RuntimeError):
+            contract_components(dg, chosen, run)

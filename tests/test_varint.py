@@ -34,6 +34,36 @@ class TestVarints:
         with pytest.raises(ValueError):
             decode_varints(enc[:-1])
 
+    def test_truncated_ten_byte_stream_rejected(self):
+        enc = encode_varints(np.array([2 ** 64 - 1], dtype=np.uint64))
+        assert len(enc) == 10
+        for cut in (1, 5, 9):
+            with pytest.raises(ValueError):
+                decode_varints(enc[:cut])
+
+    def test_ten_byte_boundary_accepted(self):
+        # 2^64 - 1 needs exactly 10 bytes (9 * 7 = 63 payload bits before
+        # the final byte) -- the longest legal varint must round-trip.
+        enc = encode_varints(np.array([2 ** 64 - 1], dtype=np.uint64))
+        assert len(enc) == 10
+        assert decode_varints(enc)[0] == np.uint64(2 ** 64 - 1)
+
+    def test_overlong_eleven_byte_stream_rejected(self):
+        # Regression: an 11-byte varint shifts its last payload past bit 63
+        # and used to decode silently (the overlong check only fired from
+        # 12 bytes on); it must raise instead.
+        overlong = np.array([0x80] * 10 + [0x01], dtype=np.uint8)
+        with pytest.raises(ValueError, match="too long"):
+            decode_varints(overlong)
+
+    def test_overlong_rejected_mid_stream(self):
+        # The check is positional, not stream-length based: a valid value
+        # followed by an overlong one must still be rejected.
+        good = encode_varints(np.array([300], dtype=np.uint64))
+        overlong = np.array([0x80] * 10 + [0x01], dtype=np.uint8)
+        with pytest.raises(ValueError, match="too long"):
+            decode_varints(np.concatenate([good, overlong]))
+
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.integers(0, 2 ** 64 - 1), max_size=200))
     def test_roundtrip_property(self, values):
