@@ -175,15 +175,28 @@ def record_experiments(rec: BenchRecorder, results, prefix: str = "") -> None:
 def bench_recorder(name: str):
     """Time a benchmark's measured block and write its ``BENCH_*.json``.
 
+    When event tracing is requested (``REPRO_TRACE=1``) and no explicit
+    ``REPRO_TRACE_DIR`` is set, traced sweeps drop their Chrome-trace and
+    metrics artifacts under ``benchmarks/results/traces/<name>/`` (the
+    directory CI's trace-smoke job validates and uploads).
+
     Usage::
 
         with bench_recorder("fig3_weak_scaling") as rec:
             ...  # run sweep, rec.add(label, simulated_seconds) per point
     """
+    from repro.obs import trace_env_enabled
+
     rec = BenchRecorder(name)
+    pushed_trace_dir = False
+    if trace_env_enabled() and not os.environ.get("REPRO_TRACE_DIR"):
+        os.environ["REPRO_TRACE_DIR"] = str(RESULTS_DIR / "traces" / name)
+        pushed_trace_dir = True
     t0 = time.perf_counter()
     try:
         yield rec
     finally:
         rec.wall_seconds = time.perf_counter() - t0
         rec.write()
+        if pushed_trace_dir:
+            del os.environ["REPRO_TRACE_DIR"]

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Validate trace artifacts and the tracing-invisibility invariant in CI.
+
+Usage::
+
+    python benchmarks/check_trace.py TRACES_DIR [TRACED_BENCH UNTRACED_BENCH]
+
+Exits non-zero when
+
+* ``TRACES_DIR`` contains no ``*.trace.json`` artifacts (the traced run
+  silently produced nothing),
+* any Chrome-trace artifact fails :func:`repro.obs.validate_chrome_trace`
+  (unknown phases, non-monotone per-thread timestamps, unmatched B/E
+  spans, bad pid/tid),
+* a trace artifact lacks its matching ``*.metrics.json`` or the metrics
+  dump is not a JSON object with the standard sections, or
+* the two optional ``BENCH_*.json`` records disagree on any simulated
+  entry -- tracing must never change simulated seconds, so the traced
+  rerun has to be bit-for-bit identical to the untraced baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+#: Sections every metrics dump must carry.
+METRICS_SECTIONS = ("counters", "gauges", "histograms", "series", "per_pe")
+
+
+def check_traces_dir(traces_dir: Path) -> list[str]:
+    """Validate every trace/metrics artifact pair under ``traces_dir``."""
+    failures: list[str] = []
+    traces = sorted(traces_dir.rglob("*.trace.json"))
+    if not traces:
+        return [f"no *.trace.json artifacts under {traces_dir}"]
+    for trace_path in traces:
+        try:
+            payload = json.loads(trace_path.read_text())
+        except (OSError, ValueError) as exc:
+            failures.append(f"{trace_path}: unreadable ({exc})")
+            continue
+        problems = validate_chrome_trace(payload)
+        for msg in problems[:10]:
+            failures.append(f"{trace_path}: {msg}")
+        n_events = len(payload.get("traceEvents", []))
+        status = "INVALID" if problems else "ok"
+        print(f"{trace_path.name}: {n_events} events, {status}")
+        metrics_path = Path(str(trace_path).replace(".trace.json",
+                                                    ".metrics.json"))
+        if not metrics_path.exists():
+            failures.append(f"{trace_path}: missing {metrics_path.name}")
+            continue
+        try:
+            metrics = json.loads(metrics_path.read_text())
+        except (OSError, ValueError) as exc:
+            failures.append(f"{metrics_path}: unreadable ({exc})")
+            continue
+        if not isinstance(metrics, dict):
+            failures.append(f"{metrics_path}: top level must be an object")
+            continue
+        for section in METRICS_SECTIONS:
+            if section not in metrics:
+                failures.append(f"{metrics_path}: missing {section!r}")
+    return failures
+
+
+def check_simulated_identical(traced_path: Path,
+                              untraced_path: Path) -> list[str]:
+    """Require bit-identical simulated series between two BENCH records."""
+    with open(traced_path) as f:
+        traced = json.load(f)
+    with open(untraced_path) as f:
+        untraced = json.load(f)
+    sim_t = {e["label"]: e["simulated_seconds"]
+             for e in traced.get("simulated", [])}
+    sim_u = {e["label"]: e["simulated_seconds"]
+             for e in untraced.get("simulated", [])}
+    if set(sim_t) != set(sim_u):
+        return [f"simulated label sets differ: "
+                f"only-traced {sorted(set(sim_t) - set(sim_u))[:5]}, "
+                f"only-untraced {sorted(set(sim_u) - set(sim_t))[:5]}"]
+    diffs = [label for label in sim_u if sim_t[label] != sim_u[label]]
+    if diffs:
+        return [f"tracing changed simulated seconds (must be bit-for-bit "
+                f"identical): {diffs[:10]}"]
+    print(f"simulated series: {len(sim_u)} entries identical "
+          f"traced vs untraced")
+    return []
+
+
+def main(argv: list[str]) -> int:
+    """Run the artifact and invariance checks from the command line."""
+    if len(argv) < 2 or len(argv) == 3:
+        print(__doc__)
+        return 2
+    failures = check_traces_dir(Path(argv[1]))
+    if len(argv) >= 4:
+        failures += check_simulated_identical(Path(argv[2]), Path(argv[3]))
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -21,6 +21,36 @@ from ..graphgen.base import GeneratedGraph
 from ..simmpi.costmodel import CostModel
 from ..simmpi.machine import Machine, SimulatedOutOfMemory
 
+#: Monotone sequence number for trace artifacts within one process, so
+#: sweep runs emit distinctly named files in ``REPRO_TRACE_DIR``.
+_TRACE_SEQ = [0]
+
+
+def _export_trace_artifacts(machine: Machine, graph: GeneratedGraph,
+                            algorithm: str) -> None:
+    """Write trace + metrics artifacts for one traced run, if requested.
+
+    Artifacts land in ``REPRO_TRACE_DIR`` (created on demand) as
+    ``{seq:03d}-{instance}-{algorithm}-p{cores}.trace.json`` plus the
+    matching ``.metrics.json``.  A no-op when the machine is untraced or
+    the variable is unset, so benchmark timing paths never pay for it.
+    """
+    out_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not out_dir or not machine.tracing:
+        return
+    from ..obs import write_chrome_trace, write_metrics
+
+    os.makedirs(out_dir, exist_ok=True)
+    seq = _TRACE_SEQ[0]
+    _TRACE_SEQ[0] += 1
+    safe = graph.name.replace("/", "_").replace(" ", "_")
+    stem = os.path.join(out_dir,
+                        f"{seq:03d}-{safe}-{algorithm}-p{machine.cores}")
+    meta = {"instance": graph.name, "algorithm": algorithm,
+            "procs": machine.n_procs, "threads": machine.threads}
+    write_chrome_trace(machine.events, stem + ".trace.json", metadata=meta)
+    write_metrics(machine.metrics, stem + ".metrics.json")
+
 
 def env_scale(default: int = 1) -> int:
     """Workload multiplier from the ``REPRO_SCALE`` environment variable."""
@@ -68,10 +98,17 @@ def run_algorithm(
     cost: Optional[CostModel] = None,
     verify: bool = False,
     seed: int = 0,
+    trace_events: Optional[bool] = None,
 ) -> ExperimentResult:
-    """Execute one algorithm on a fresh simulated machine."""
+    """Execute one algorithm on a fresh simulated machine.
+
+    ``trace_events=None`` defers to ``REPRO_TRACE`` (the machine default);
+    traced runs additionally export Chrome-trace/metrics artifacts when
+    ``REPRO_TRACE_DIR`` names a directory.
+    """
     machine = Machine(n_procs, threads=threads, cost=cost,
-                      memory_limit_bytes=memory_limit_bytes, seed=seed)
+                      memory_limit_bytes=memory_limit_bytes, seed=seed,
+                      trace_events=trace_events)
     base = ExperimentResult(
         instance=graph.name,
         algorithm=algorithm,
@@ -89,11 +126,13 @@ def run_algorithm(
         res = minimum_spanning_forest(dg, algorithm=algorithm, config=config)
     except SimulatedOutOfMemory:
         base.status = "oom"
+        _export_trace_artifacts(machine, graph, algorithm)
         return base
     base.elapsed = res.elapsed
     base.phase_times = res.phase_times
     base.stats = res.stats
     base.total_weight = res.total_weight
+    _export_trace_artifacts(machine, graph, algorithm)
     if verify:
         from ..seq.verify import verify_msf
 

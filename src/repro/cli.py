@@ -8,6 +8,8 @@ Subcommands
             and the phase breakdown;
 ``cc``      count connected components;
 ``sweep``   run a weak- or strong-scaling sweep and print the series table;
+``profile`` run one algorithm with event tracing on and export a
+            Chrome/Perfetto trace plus a JSON metrics dump;
 ``info``    show instance statistics of a saved ``.npz`` graph.
 
 Examples
@@ -17,6 +19,7 @@ Examples
     python -m repro gen --family GNM -n 4096 -m 16384 -o gnm.npz
     python -m repro mst gnm.npz --algorithm filter-boruvka --procs 16 --threads 4
     python -m repro sweep --family 2D-RGG --cores 4,16,64 --algorithms boruvka,mnd-mst
+    python -m repro profile --algo boruvka --procs 16 --trace-out b.trace.json
     python -m repro info gnm.npz
 """
 
@@ -87,6 +90,36 @@ def _add_sweep(sub: argparse._SubParsersAction) -> None:
                    help="run under the runtime invariant sanitizer")
 
 
+def _add_profile(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "profile",
+        help="run one algorithm traced; export Chrome trace + metrics")
+    p.add_argument("graph", nargs="?",
+                   help="instance .npz (default: a generated instance)")
+    p.add_argument("--algo", "--algorithm", dest="algorithm",
+                   default="boruvka",
+                   help="boruvka | filter-boruvka | awerbuch-shiloach | "
+                        "mnd-mst")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--family", choices=_families(), default="GNM",
+                   help="generated family when no graph file is given")
+    p.add_argument("-n", type=int, default=4096, help="generated vertices")
+    p.add_argument("-m", type=int, default=16384, help="generated edges")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--alltoall", default="auto",
+                   choices=["auto", "direct", "grid", "grid3", "hypercube"])
+    p.add_argument("--base-case-min", type=int, default=64,
+                   help="base-case vertex threshold (small keeps more "
+                        "distributed rounds visible in the profile)")
+    p.add_argument("--trace-out", default="profile.trace.json",
+                   help="Chrome/Perfetto trace JSON output path")
+    p.add_argument("--metrics-out", default="profile.metrics.json",
+                   help="metrics JSON output path")
+    p.add_argument("--simsan", action="store_true",
+                   help="run under the runtime invariant sanitizer")
+
+
 def _add_info(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("info", help="show instance statistics")
     p.add_argument("graph", help="instance .npz")
@@ -116,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_mst(sub)
     _add_cc(sub)
     _add_sweep(sub)
+    _add_profile(sub)
     _add_info(sub)
     args = parser.parse_args(argv)
     if getattr(args, "simsan", False):
@@ -127,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         "mst": _cmd_mst,
         "cc": _cmd_cc,
         "sweep": _cmd_sweep,
+        "profile": _cmd_profile,
         "info": _cmd_info,
     }[args.command](args)
 
@@ -225,6 +260,55 @@ def _cmd_sweep(args) -> int:
           f"({args.per_core_vertices}v/{args.per_core_edges}e per core)")
     print(series_table(results, value="throughput"))
     print(speedup_summary(results))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .core import BoruvkaConfig, FilterConfig, minimum_spanning_forest
+    from .graphgen import gen_family, load_npz
+    from .obs import (
+        chrome_trace,
+        progress_table,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_metrics,
+    )
+    from .simmpi import Machine
+
+    if args.graph:
+        g = load_npz(args.graph)
+    else:
+        g = gen_family(args.family, args.n, args.m, seed=args.seed)
+    machine = Machine(args.procs, threads=args.threads, trace_events=True)
+    b = BoruvkaConfig(alltoall=args.alltoall,
+                      base_case_min=args.base_case_min)
+    config = (FilterConfig(boruvka=b)
+              if args.algorithm == "filter-boruvka" else b)
+    result = minimum_spanning_forest(g.distribute(machine),
+                                     algorithm=args.algorithm,
+                                     config=config)
+    meta = {"instance": g.name, "algorithm": result.algorithm,
+            "procs": args.procs, "threads": args.threads}
+    write_chrome_trace(machine.events, args.trace_out, metadata=meta)
+    write_metrics(machine.metrics, args.metrics_out)
+    problems = validate_chrome_trace(chrome_trace(machine.events, meta))
+    print(f"instance        : {g.name} (n={g.n_vertices}, "
+          f"m={g.n_undirected_edges})")
+    print(f"algorithm       : {result.algorithm} on {args.procs} procs "
+          f"x {args.threads} threads")
+    print(f"MSF weight      : {result.total_weight}")
+    print(f"simulated time  : {result.elapsed * 1e3:.4f} ms")
+    print(f"events recorded : {len(machine.events)} "
+          f"({machine.events.dropped} dropped)")
+    print(f"trace           : {args.trace_out} "
+          f"({'valid' if not problems else 'INVALID'})")
+    print(f"metrics         : {args.metrics_out}")
+    print()
+    print(progress_table(machine.metrics))
+    if problems:
+        for msg in problems[:10]:
+            print(f"trace problem   : {msg}", file=sys.stderr)
+        return 1
     return 0
 
 

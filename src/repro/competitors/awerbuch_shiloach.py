@@ -34,6 +34,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..kernels import RaggedArrays, batched_enabled, segmented_unique
+from ..obs.hooks import observe_round_end, observe_round_start
 from ..kernels.segmented import packed_lexsort
 from ..simmpi.alltoall import route_rows, unsort
 from ..simmpi.collectives import Comm
@@ -86,7 +87,11 @@ def awerbuch_shiloach_msf(
     ew = [part.w.copy() for part in graph.parts]
     eid = [part.id.copy() for part in graph.parts]
 
+    total_edges = sum(len(x) for x in eu)
     for iteration in range(cfg.max_rounds):
+        # The fixed undirected edge set and vertex universe are known
+        # host-side, so the round hook costs no collectives.
+        observe_round_start(machine, iteration, n, total_edges)
         # Resident footprint: the edge block plus the intermediate tensor
         # buffers of the algebra formulation, plus the per-row/column vertex
         # vectors of the 2D distribution.
@@ -137,6 +142,7 @@ def awerbuch_shiloach_msf(
             alive_total = comm.allreduce(
                 [int(x) for x in _per_pe(alive_total, p)])
             if alive_total == 0:
+                observe_round_end(machine, iteration)
                 break
             recv, _, _ = route_rows(comm, cand_rows, cand_dests,
                                     method=cfg.alltoall)
@@ -183,6 +189,7 @@ def awerbuch_shiloach_msf(
         # ---- Shortcut: pointer jumping until the forest is a star set. ----
         with machine.phase("as_shortcut"):
             _shortcut(comm, f_blocks, n, cfg.alltoall, machine)
+        observe_round_end(machine, iteration)
         run.rounds += 1
     else:
         raise RuntimeError("Awerbuch-Shiloach failed to converge")

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..obs.hooks import observe_round_end, observe_round_start
 from ..simmpi.alltoall import route_rows
 from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
 from ..core.config import BoruvkaConfig
@@ -123,6 +124,10 @@ def mnd_mst(
         level += 1
         if level > 64:
             raise RuntimeError("MND-MST merge hierarchy failed to terminate")
+        # Remaining per-PE contracted subgraphs are host-visible; the hook
+        # reuses them without issuing collectives.
+        observe_round_start(machine, level - 1, len(active),
+                            sum(len(parts[i]) for i in active))
         leaders = active[::group_size]
         rows, dests = [], []
         map_rows, map_dests = [], []
@@ -162,6 +167,7 @@ def mnd_mst(
                 parts[leader] = _contract_local(merged, leader, machine,
                                                 run, vmaps[leader])
             machine.check_memory(mem)
+        observe_round_end(machine, level - 1)
         active = leaders
 
     final = active[0]

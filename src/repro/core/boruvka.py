@@ -24,6 +24,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..obs.hooks import observe_round_end, observe_round_start
 from ..simmpi.alltoall import route_rows
 from ..utils.varint import CompressedEdgeList
 from .base_case import base_case
@@ -113,10 +114,15 @@ def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
     threshold = max(cfg.base_case_factor * machine.n_procs,
                     cfg.base_case_min, machine.n_procs)
     for _ in range(cfg.max_rounds):
-        if graph.global_edge_count() == 0:
+        n_edges = graph.global_edge_count()
+        if n_edges == 0:
             return graph
-        if global_vertex_count(graph, run) <= threshold:
+        n_vertices = global_vertex_count(graph, run)
+        if n_vertices <= threshold:
             return graph
+        # Both counts were needed for control flow anyway; the hooks reuse
+        # them so tracing never issues extra collectives.
+        observe_round_start(machine, run.rounds, n_vertices, n_edges)
         with machine.phase("min_edges"):
             chosen = min_edges(graph)
         with machine.phase("contraction"):
@@ -129,6 +135,7 @@ def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
         with machine.phase("redistribute"):
             graph = redistribute(run, machine, relabelled)
         machine.checkpoint(f"boruvka_round_{run.rounds}")
+        observe_round_end(machine, run.rounds)
         run.rounds += 1
     else:
         raise RuntimeError("distributed Borůvka exceeded max_rounds")

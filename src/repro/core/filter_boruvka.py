@@ -26,6 +26,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..obs.hooks import observe_filter_level, observe_filter_survivors
 from ..simmpi.machine import Machine
 from ..sorting.api import sort_rows
 from .base_case import base_case
@@ -167,6 +168,7 @@ def distributed_filter_boruvka(
         """REC-FILTER-MST.  Returns a carried heavy set for the parent to
         merge (Section VI-C's propagate-back rule) or None."""
         m = g.global_edge_count()
+        observe_filter_level(machine, depth, m)
         if depth >= cfg.max_depth or is_sparse(m):
             run_base_case(g)
             return None
@@ -196,6 +198,7 @@ def distributed_filter_boruvka(
             filtered = _filter_heavy(machine, heavy_graph, P, run)
             survivors_graph = redistribute(run, machine, filtered)
             m_surv = survivors_graph.global_edge_count()
+        observe_filter_survivors(machine, depth, m_heavy, m_surv)
         machine.checkpoint(f"filter_depth_{depth}")
         if m_surv == 0:
             return None

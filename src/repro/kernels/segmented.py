@@ -13,11 +13,36 @@ loop.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Sequence, Tuple
 
 import numpy as np
 
+from .engine import kernel_sink, record_kernel
 
+
+def _instrumented(fn):
+    """Report calls and host seconds to the kernel sink when one is attached.
+
+    With no sink attached (the default, untraced case) the wrapper is a
+    single ``is None`` check around the call -- the timing path only runs
+    for traced machines, keeping the disabled overhead near zero.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        """Forward to the kernel, timing it when a sink is attached."""
+        if kernel_sink() is None:
+            return fn(*args, **kwargs)
+        t0 = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            record_kernel(fn.__name__, time.perf_counter() - t0)
+    return wrapper
+
+
+@_instrumented
 def segment_ids(offsets: np.ndarray) -> np.ndarray:
     """Segment id of every flat position for ``p + 1`` offsets."""
     offsets = np.asarray(offsets, dtype=np.int64)
@@ -25,6 +50,7 @@ def segment_ids(offsets: np.ndarray) -> np.ndarray:
                      np.diff(offsets))
 
 
+@_instrumented
 def packed_lexsort(keys: Sequence[np.ndarray]) -> np.ndarray:
     """Permutation equal to ``np.lexsort(keys)`` (least-significant first).
 
@@ -62,6 +88,7 @@ def packed_lexsort(keys: Sequence[np.ndarray]) -> np.ndarray:
     return np.argsort(packed, kind="stable")
 
 
+@_instrumented
 def segmented_lexsort(keys: Sequence[np.ndarray],
                       seg_ids: np.ndarray) -> np.ndarray:
     """Flat permutation equal to a per-segment stable ``np.lexsort``.
@@ -75,6 +102,7 @@ def segmented_lexsort(keys: Sequence[np.ndarray],
     return packed_lexsort(tuple(keys) + (seg_ids,))
 
 
+@_instrumented
 def first_in_group(group_ids: np.ndarray) -> np.ndarray:
     """Mask of the first element of every run of equal adjacent group ids."""
     n = len(group_ids)
@@ -84,6 +112,7 @@ def first_in_group(group_ids: np.ndarray) -> np.ndarray:
     return first
 
 
+@_instrumented
 def segmented_unique(
     values: np.ndarray,
     seg_ids: np.ndarray,
@@ -114,6 +143,7 @@ def segmented_unique(
     return uniq, uniq_offsets, inverse
 
 
+@_instrumented
 def segmented_searchsorted(
     haystack: np.ndarray,
     hay_offsets: np.ndarray,
@@ -171,6 +201,7 @@ def segmented_searchsorted(
     return result
 
 
+@_instrumented
 def segmented_lookup(
     haystack: np.ndarray,
     hay_offsets: np.ndarray,
@@ -199,6 +230,7 @@ def segmented_lookup(
     return found, idx
 
 
+@_instrumented
 def route_counts(
     seg_ids: np.ndarray,
     dests: np.ndarray,

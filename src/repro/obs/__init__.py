@@ -1,0 +1,74 @@
+"""Observability for the simulated machine: tracing, metrics, exporters.
+
+The paper's experimental narrative hangs on knowing where simulated time
+goes (Fig. 6 phase attribution, Fig. 2 all-to-all contention, Section VII
+per-round shrinkage); this package is the structured-statistics layer that
+makes those questions answerable *per round, per PE, per collective*
+without a debugger:
+
+* :class:`EventTracer` -- spans and instant events keyed by
+  ``(phase, round, rank, collective)`` with both simulated and host wall
+  clocks, in a bounded ring buffer (``Machine(trace_events=True)`` or
+  ``REPRO_TRACE=1``);
+* :class:`MetricsRegistry` -- counters, gauges, histograms, per-round
+  series and per-PE accumulators;
+* exporters -- Chrome/Perfetto trace JSON (one pseudo-thread per PE),
+  a JSON metrics dump, and an ASCII per-round progress table;
+* :func:`validate_chrome_trace` -- the schema checker CI's trace-smoke
+  job runs on every emitted artifact.
+
+Hard invariant (tested in ``tests/test_obs.py``): with tracing off *and*
+on, simulated seconds, cost charging and sanitizer behaviour are
+bit-for-bit identical -- observation never perturbs the machine.
+See ``docs/observability.md``.
+"""
+
+from .tracer import DEFAULT_CAPACITY, EventTracer, trace_env_enabled
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PECounter,
+    Series,
+)
+from .export import (
+    chrome_trace,
+    metrics_to_dict,
+    progress_table,
+    write_chrome_trace,
+    write_metrics,
+)
+from .validate import validate_chrome_trace
+from .hooks import (
+    observe_exchange,
+    observe_filter_level,
+    observe_filter_survivors,
+    observe_round_end,
+    observe_round_start,
+    observe_sort,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EventTracer",
+    "trace_env_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PECounter",
+    "Series",
+    "chrome_trace",
+    "metrics_to_dict",
+    "progress_table",
+    "write_chrome_trace",
+    "write_metrics",
+    "validate_chrome_trace",
+    "observe_exchange",
+    "observe_filter_level",
+    "observe_filter_survivors",
+    "observe_round_end",
+    "observe_round_start",
+    "observe_sort",
+]

@@ -1,0 +1,124 @@
+"""Instrumentation hooks the algorithm drivers call into.
+
+These helpers centralise what a traced run records per Borůvka round and
+per all-to-all exchange, so the drivers stay one-liner-instrumented and the
+"observation never perturbs the machine" invariant is auditable in one
+place: every function here only *reads* machine state (clocks, byte
+totals) and writes to the tracer/metrics objects.
+
+All hooks are no-ops (a couple of ``is None`` checks) on untraced
+machines, and none of them may issue collectives, charge cost, or consume
+RNG draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def observe_round_start(machine, round_no: int, vertices: int,
+                        edges: int) -> None:
+    """Record the state of the contracted graph entering one Borůvka round.
+
+    ``vertices``/``edges`` must be values the driver already computed for
+    its own control flow -- recomputing them here would issue extra
+    collectives and break the tracing-invisibility invariant.
+    """
+    ev, mx = machine.events, machine.metrics
+    if ev is None and mx is None:
+        return
+    now = float(machine.clock.max())
+    if ev is not None:
+        ev.set_round(round_no)
+        ev.instant(f"round {round_no}", -1, now, cat="round")
+        ev.counter("vertices", float(vertices), now)
+        ev.counter("edges", float(edges), now)
+    if mx is not None:
+        mx.series("round/vertices").record(round_no, vertices)
+        mx.series("round/edges").record(round_no, edges)
+        mx.gauge("rounds").set(round_no + 1)
+        mx.scratch["round_bytes0"] = machine.bytes_communicated
+        pe = mx.pe_counter("alltoall/sent_bytes_per_pe", machine.n_procs)
+        mx.scratch["round_pe_bytes0"] = pe.values.copy()
+
+
+def observe_round_end(machine, round_no: int) -> None:
+    """Record per-round deltas after one Borůvka round completed.
+
+    Derives the round's communicated bytes, per-PE clock skew and
+    send-volume imbalance from the snapshots taken at round start.
+    """
+    mx = machine.metrics
+    if mx is not None:
+        clocks = machine.clock
+        skew = float(clocks.max() - clocks.min())
+        mx.series("round/clock_skew_s").record(round_no, skew)
+        bytes0 = mx.scratch.pop("round_bytes0", 0.0)
+        mx.series("round/bytes").record(
+            round_no, machine.bytes_communicated - bytes0)
+        pe = mx.pe_counter("alltoall/sent_bytes_per_pe", machine.n_procs)
+        prev = mx.scratch.pop("round_pe_bytes0", None)
+        delta = pe.values - prev if prev is not None else pe.values
+        mean = float(delta.mean())
+        imbalance = float(delta.max() / mean) if mean > 0 else 1.0
+        mx.series("round/send_imbalance").record(round_no, imbalance)
+    ev = machine.events
+    if ev is not None:
+        ev.set_round(-1)
+
+
+def observe_exchange(comm, op: str, counts, row_bytes: float) -> None:
+    """Record one all-to-all exchange (or indirect hop) into the metrics.
+
+    ``counts[i, j]`` rows travel from communicator rank ``i`` to ``j`` at
+    ``row_bytes`` bytes per row -- the same matrix the communication trace
+    and sanitizer shadow receive, so all three observers agree by
+    construction.
+    """
+    mx = comm.machine.metrics
+    if mx is None:
+        return
+    counts = np.asarray(counts)
+    total_rows = float(counts.sum())
+    messages = int(np.count_nonzero(counts))
+    total_bytes = total_rows * row_bytes
+    mx.counter(f"alltoall/{op}/exchanges").inc()
+    mx.counter(f"alltoall/{op}/messages").inc(messages)
+    mx.counter(f"alltoall/{op}/bytes").inc(total_bytes)
+    if messages:
+        mx.histogram(f"alltoall/{op}/bytes_per_message").observe(
+            total_bytes / messages)
+    bytes_out = counts.sum(axis=1).astype(np.float64) * row_bytes
+    mx.pe_counter("alltoall/sent_bytes_per_pe",
+                  comm.machine.n_procs).add(bytes_out, comm.ranks)
+
+
+def observe_filter_level(machine, depth: int, edges_before: int) -> None:
+    """Record one Filter-Borůvka recursion entering depth ``depth``."""
+    mx = machine.metrics
+    if mx is not None:
+        mx.counter("filter/recursions").inc()
+        mx.gauge("filter/max_depth").set(depth)
+        mx.series("filter/edges_at_depth").record(depth, edges_before)
+    ev = machine.events
+    if ev is not None:
+        ev.instant(f"filter depth {depth}", -1, float(machine.clock.max()),
+                   cat="filter")
+
+
+def observe_filter_survivors(machine, depth: int, edges_heavy: int,
+                             edges_surviving: int) -> None:
+    """Record the outcome of one FILTER step at recursion depth ``depth``."""
+    mx = machine.metrics
+    if mx is not None:
+        mx.counter("filter/heavy_edges_filtered").inc(
+            edges_heavy - edges_surviving)
+        mx.series("filter/survivors_at_depth").record(depth, edges_surviving)
+
+
+def observe_sort(comm, method: str, total_rows: int) -> None:
+    """Count one distributed-sort invocation by dispatched method."""
+    mx = comm.machine.metrics
+    if mx is not None:
+        mx.counter(f"sort/{method}/calls").inc()
+        mx.counter(f"sort/{method}/rows").inc(total_rows)

@@ -1,0 +1,207 @@
+"""Metrics registry: counters, gauges, histograms and per-round series.
+
+GBBS-style structured statistics for the simulated machine: instead of one
+float per phase, a traced run accumulates named metrics --
+bytes/messages per collective flavour, vertices/edges surviving each
+Borůvka round, filter-recursion depth, segmented-kernel invocation counts
+and host time, per-PE clock skew and send-volume imbalance per round --
+that exporters dump as JSON (:func:`repro.obs.export.metrics_to_dict`) or
+render as the per-round ASCII progress table
+(:func:`repro.obs.export.progress_table`).
+
+All instruments are plain Python objects with numpy-free hot paths (a
+counter increment is one float add); like the event tracer, they never read
+or write machine clocks, so metrics collection cannot perturb simulated
+time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """Monotonically increasing float accumulator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value plus the running maximum."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value, tracking the high-water mark."""
+        self.value = float(value)
+        if self.value > self.max:
+            self.max = self.value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (count/sum/min/max + buckets).
+
+    Bucket ``k`` counts observations ``v`` with ``2^(k-1) < v <= 2^k``;
+    observations at most 1 (including non-positive ones) land in bucket 0.
+    Compact enough to record every exchange without memory concern and
+    precise enough for imbalance triage.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        bucket = 0 if value <= 1.0 else int(math.ceil(math.log2(value)))
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class Series:
+    """Step-indexed samples, e.g. per-round vertex counts."""
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: List[Tuple[int, float]] = []
+
+    def record(self, step: int, value: float) -> None:
+        """Append the sample ``value`` for integer step ``step``."""
+        self.points.append((int(step), float(value)))
+
+    def last(self) -> Optional[Tuple[int, float]]:
+        """The most recent (step, value) pair, or None when empty."""
+        return self.points[-1] if self.points else None
+
+
+class PECounter:
+    """Per-PE float accumulator (numpy-backed), e.g. sent bytes per PE."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, n_procs: int) -> None:
+        self.values = np.zeros(int(n_procs), dtype=np.float64)
+
+    def add(self, amounts, ranks=None) -> None:
+        """Accumulate ``amounts`` onto all PEs or the ``ranks`` subset."""
+        if ranks is None:
+            self.values += amounts
+        else:
+            self.values[ranks] += amounts
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors.
+
+    One registry is attached per traced machine (``machine.metrics``).
+    Instruments live in separate namespaces per kind, so a counter and a
+    series may share a name without colliding.  ``scratch`` is a free-form
+    dict the instrumentation hooks use for cross-call snapshots (for
+    example byte totals at round start); it is excluded from exports.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, Series] = {}
+        self._pe_counters: Dict[str, PECounter] = {}
+        #: Hook-private snapshot storage (not exported).
+        self.scratch: Dict = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def series(self, name: str) -> Series:
+        """The series named ``name``, created on first use."""
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = Series()
+        return s
+
+    def pe_counter(self, name: str, n_procs: int) -> PECounter:
+        """The per-PE counter named ``name``, created on first use."""
+        p = self._pe_counters.get(name)
+        if p is None:
+            p = self._pe_counters[name] = PECounter(n_procs)
+        return p
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, Counter]:
+        """All counters by name (live view)."""
+        return self._counters
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """All gauges by name (live view)."""
+        return self._gauges
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms by name (live view)."""
+        return self._histograms
+
+    def all_series(self) -> Dict[str, Series]:
+        """All series by name (live view)."""
+        return self._series
+
+    def pe_counters(self) -> Dict[str, PECounter]:
+        """All per-PE counters by name (live view)."""
+        return self._pe_counters
+
+    def reset(self) -> None:
+        """Drop every instrument and snapshot (mirrors ``Machine.reset``)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._series.clear()
+        self._pe_counters.clear()
+        self.scratch.clear()

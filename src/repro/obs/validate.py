@@ -1,0 +1,99 @@
+"""Chrome-trace schema validation (shared by tests and CI's trace-smoke).
+
+:func:`validate_chrome_trace` checks the structural contract a trace viewer
+relies on -- and that the CI smoke job enforces on every emitted artifact:
+
+* top-level shape: a ``traceEvents`` array of objects;
+* every event has a known ``ph``, a string ``name`` and integer-valued
+  non-negative ``pid``/``tid`` (metadata events excepted from ts checks);
+* timestamps are finite, non-negative, and **monotone non-decreasing per
+  thread** in file order (per-PE simulated clocks are monotone, so a
+  violation means instrumentation emitted out of order);
+* ``B``/``E`` events are properly matched and nested per thread -- every
+  ``E`` closes the innermost open ``B`` of the same name, and no span is
+  left open at the end.
+
+A trace whose ring buffer dropped events (``otherData.dropped_events > 0``)
+is only checked for the per-event invariants, because the missing prefix
+legitimately breaks span matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Event phases the validator accepts.
+KNOWN_PHASES = {"B", "E", "i", "I", "C", "M", "X"}
+
+
+def validate_chrome_trace(payload: Dict) -> List[str]:
+    """Validate a Chrome trace JSON object; returns a list of problems.
+
+    An empty list means the trace is well-formed.  Every string in the
+    returned list describes one independent violation (the validator keeps
+    going so CI logs show all problems at once).
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array traceEvents"]
+    dropped = 0
+    other = payload.get("otherData")
+    if isinstance(other, dict):
+        dropped = int(other.get("dropped_events", 0) or 0)
+
+    last_ts: Dict[tuple, float] = {}
+    open_spans: Dict[tuple, List[str]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty name")
+        pid, tid = ev.get("pid"), ev.get("tid")
+        for label, v in (("pid", pid), ("tid", tid)):
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                errors.append(f"{where}: {label} must be a non-negative "
+                              f"integer, got {v!r}")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or ts != ts or ts in (float("inf"), float("-inf")) or ts < 0:
+            errors.append(f"{where}: ts must be a finite non-negative "
+                          f"number, got {ts!r}")
+            continue
+        key = (pid, tid)
+        prev = last_ts.get(key)
+        if prev is not None and ts < prev:
+            errors.append(f"{where}: ts {ts} < previous {prev} on "
+                          f"pid/tid {key} (non-monotone thread timeline)")
+        last_ts[key] = float(ts)
+        if dropped == 0:
+            if ph == "B":
+                open_spans.setdefault(key, []).append(name)
+            elif ph == "E":
+                stack = open_spans.get(key, [])
+                if not stack:
+                    errors.append(f"{where}: E {name!r} with no open B on "
+                                  f"pid/tid {key}")
+                elif stack[-1] != name:
+                    errors.append(f"{where}: E {name!r} closes open B "
+                                  f"{stack[-1]!r} on pid/tid {key} "
+                                  f"(improper nesting)")
+                    stack.pop()
+                else:
+                    stack.pop()
+    if dropped == 0:
+        for key, stack in open_spans.items():
+            if stack:
+                errors.append(f"unclosed span(s) {stack} on pid/tid {key}")
+    return errors

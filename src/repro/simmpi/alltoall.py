@@ -133,14 +133,22 @@ def _move(sendbufs: Sequence[np.ndarray], counts: np.ndarray
     return recvbufs, counts
 
 
-def _record_trace(comm: Comm, counts: np.ndarray, row_bytes: float) -> None:
+def _record_trace(comm: Comm, counts: np.ndarray, row_bytes: float,
+                  op: str = "alltoall") -> None:
     """Accumulate one exchange into the machine's communication trace.
 
     The sanitizer keeps its own shadow of the same per-pair matrix (fed
     unconditionally when attached) so it can cross-check
-    ``bytes_communicated`` without changing tracing semantics.
+    ``bytes_communicated`` without changing tracing semantics.  ``op``
+    names the exchange flavour for the metrics registry
+    (bytes/messages per collective, per-PE send volumes); metrics see the
+    exact same counts matrix as the trace and the sanitizer shadow.
     """
     m = comm.machine
+    if m.metrics is not None:
+        from ..obs.hooks import observe_exchange
+
+        observe_exchange(comm, op, counts, row_bytes)
     tr, san = m.trace, m.sanitizer
     if tr is None and san is None:
         return
@@ -170,8 +178,9 @@ def alltoallv_direct(
     cost = comm.machine.cost.alltoall_dense(size, bytes_out, bytes_in,
                                             comm.machine.threads)
     comm.machine.bytes_communicated += float(bytes_out.sum())
-    _record_trace(comm, counts, row_bytes)
-    comm._sync_and_charge(cost)
+    _record_trace(comm, counts, row_bytes, op="alltoallv_direct")
+    comm._sync_and_charge(cost, op="alltoallv_direct",
+                          nbytes=float(bytes_out.sum()))
     return recvbufs, [counts[:, j].copy() for j in range(size)]
 
 
@@ -264,8 +273,9 @@ def alltoallv_grid(
     cost1 = comm.machine.cost.alltoall_dense(r, bytes_out1, bytes_in1,
                                              comm.machine.threads)
     comm.machine.bytes_communicated += float(bytes_out1.sum())
-    _record_trace(comm, phase1_counts, row_bytes)
-    comm._sync_and_charge(cost1)
+    _record_trace(comm, phase1_counts, row_bytes, op="alltoallv_grid/hop1")
+    comm._sync_and_charge(cost1, op="alltoallv_grid/hop1",
+                          nbytes=float(bytes_out1.sum()))
 
     # ---- Phase 2: deliver from intermediates to final destinations. ----
     if batched_enabled():
@@ -299,8 +309,9 @@ def alltoallv_grid(
     cost2 = comm.machine.cost.alltoall_dense(group2, bytes_out2, bytes_in2,
                                              comm.machine.threads)
     comm.machine.bytes_communicated += float(bytes_out2.sum())
-    _record_trace(comm, phase2_counts, row_bytes)
-    comm._sync_and_charge(cost2)
+    _record_trace(comm, phase2_counts, row_bytes, op="alltoallv_grid/hop2")
+    comm._sync_and_charge(cost2, op="alltoallv_grid/hop2",
+                          nbytes=float(bytes_out2.sum()))
 
     san = comm.machine.sanitizer
     if san is not None:
@@ -390,11 +401,15 @@ def alltoallv_hypercube(
         cost = (cm.c_call + cm.alpha
                 + (cm.beta + cm.beta_sw) * (sent_bytes + recv_bytes))
         comm.machine.bytes_communicated += float(sent_bytes.sum())
-        if comm.machine.trace is not None or comm.machine.sanitizer is not None:
+        m = comm.machine
+        if (m.trace is not None or m.sanitizer is not None
+                or m.metrics is not None):
             hop = np.zeros((size, size))
             hop[np.arange(size), np.arange(size) ^ bit] = sent_bytes
-            _record_trace(comm, hop, 1.0)
-        comm._sync_and_charge(cost)
+            _record_trace(comm, hop, 1.0,
+                          op=f"alltoallv_hypercube/dim{k}")
+        comm._sync_and_charge(cost, op=f"alltoallv_hypercube/dim{k}",
+                              nbytes=float(sent_bytes.sum()))
         held, held_dst, held_src = new_held, new_dst, new_src
 
     recvbufs: List[np.ndarray] = []

@@ -78,17 +78,32 @@ class Comm:
         self.size = len(self.ranks)
 
     # ------------------------------------------------------------------
-    def _sync_and_charge(self, per_rank_cost) -> None:
-        """Barrier-synchronise participants, then charge per-rank costs."""
+    def _sync_and_charge(self, per_rank_cost, op: str = "collective",
+                         nbytes: float = 0.0) -> None:
+        """Barrier-synchronise participants, then charge per-rank costs.
+
+        ``op`` names the collective for the observability layer (span
+        events and per-operation metrics); ``nbytes`` is its per-rank
+        payload size.  Both are observation-only: the synchronisation and
+        charging sequence is identical whether or not tracing is attached.
+        """
         m = self.machine
         m.n_collectives += 1
         san = m.sanitizer
+        ev = m.events
+        if ev is not None:
+            ev.begin_ranks(op, m.clock, self.ranks, cat="collective")
+        if m.metrics is not None:
+            m.metrics.counter(f"collective/{op}/count").inc()
+            m.metrics.counter(f"collective/{op}/bytes").inc(nbytes)
         if san is not None:
             san.pre_collective(self.ranks, per_rank_cost)
         clocks = m.clock[self.ranks]
         m.clock[self.ranks] = clocks.max() + per_rank_cost
         if san is not None:
             san.post_collective(self.ranks)
+        if ev is not None:
+            ev.end_ranks(op, m.clock, self.ranks, cat="collective")
 
     def sub(self, local_ranks: Sequence[int]) -> "Comm":
         """Sub-communicator from rank indices *within this communicator*."""
@@ -99,15 +114,17 @@ class Comm:
     # ------------------------------------------------------------------
     def bcast(self, value, root: int = 0):
         """Broadcast ``value`` held by ``root`` to all ranks (returned replicated)."""
-        cost = self.machine.cost.collective_tree(self.size, _nbytes(value))
-        self._sync_and_charge(cost)
+        nb = _nbytes(value)
+        cost = self.machine.cost.collective_tree(self.size, nb)
+        self._sync_and_charge(cost, op="bcast", nbytes=nb)
         return value
 
     def reduce(self, values: Sequence, op: Union[str, Callable] = "sum", root: int = 0):
         """Reduce per-rank ``values``; only ``root`` semantically holds the result."""
         result = self._reduced(values, op)
-        cost = self.machine.cost.collective_tree(self.size, _nbytes(values[0]))
-        self._sync_and_charge(cost)
+        nb = _nbytes(values[0])
+        cost = self.machine.cost.collective_tree(self.size, nb)
+        self._sync_and_charge(cost, op="reduce", nbytes=nb)
         return result
 
     def allreduce(self, values: Sequence, op: Union[str, Callable] = "sum"):
@@ -118,8 +135,9 @@ class Comm:
         Section IV-D).
         """
         result = self._reduced(values, op)
-        cost = self.machine.cost.collective_tree(self.size, _nbytes(values[0]))
-        self._sync_and_charge(cost)
+        nb = _nbytes(values[0])
+        cost = self.machine.cost.collective_tree(self.size, nb)
+        self._sync_and_charge(cost, op="allreduce", nbytes=nb)
         return result
 
     def _reduced(self, values: Sequence, op: Union[str, Callable]):
@@ -153,8 +171,9 @@ class Comm:
             else:
                 out.append(acc)
             acc = values[r] if acc is None else fn(acc, values[r])
-        cost = self.machine.cost.collective_tree(self.size, _nbytes(values[0]))
-        self._sync_and_charge(cost)
+        nb = _nbytes(values[0])
+        cost = self.machine.cost.collective_tree(self.size, nb)
+        self._sync_and_charge(cost, op="exscan", nbytes=nb)
         return out
 
     def scan(self, values: Sequence, op: Union[str, Callable] = "sum") -> List:
@@ -165,8 +184,9 @@ class Comm:
         for r in range(self.size):
             acc = values[r] if acc is None else fn(acc, values[r])
             out.append(acc)
-        cost = self.machine.cost.collective_tree(self.size, _nbytes(values[0]))
-        self._sync_and_charge(cost)
+        nb = _nbytes(values[0])
+        cost = self.machine.cost.collective_tree(self.size, nb)
+        self._sync_and_charge(cost, op="scan", nbytes=nb)
         return out
 
     # ------------------------------------------------------------------
@@ -176,26 +196,27 @@ class Comm:
         """Each rank contributes one value; all ranks receive the full list."""
         total = sum(_nbytes(v) for v in values)
         cost = self.machine.cost.allgather(self.size, total)
-        self._sync_and_charge(cost)
+        self._sync_and_charge(cost, op="allgather", nbytes=total)
         return list(values)
 
     def allgatherv(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
         """Concatenate per-rank arrays; every rank receives the concatenation."""
         total = sum(a.nbytes for a in arrays)
         cost = self.machine.cost.allgather(self.size, total)
-        self._sync_and_charge(cost)
+        self._sync_and_charge(cost, op="allgatherv", nbytes=total)
         return np.concatenate([np.atleast_1d(a) for a in arrays])
 
     def gatherv(self, arrays: Sequence[np.ndarray], root: int = 0) -> np.ndarray:
         """Concatenate per-rank arrays at ``root`` (returned; only root holds it)."""
         total = sum(a.nbytes for a in arrays)
         cost = self.machine.cost.allgather(self.size, total)
-        self._sync_and_charge(cost)
+        self._sync_and_charge(cost, op="gatherv", nbytes=total)
         return np.concatenate([np.atleast_1d(a) for a in arrays])
 
     def barrier(self) -> None:
         """Synchronise all participants."""
-        self._sync_and_charge(self.machine.cost.collective_tree(self.size, 0))
+        self._sync_and_charge(self.machine.cost.collective_tree(self.size, 0),
+                              op="barrier")
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

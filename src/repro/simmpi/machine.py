@@ -44,6 +44,13 @@ def simsan_env_enabled() -> bool:
     return value not in ("", "0", "false", "no", "off")
 
 
+def trace_events_env_enabled() -> bool:
+    """Whether the ``REPRO_TRACE`` environment variable requests tracing."""
+    from ..obs.tracer import trace_env_enabled
+
+    return trace_env_enabled()
+
+
 class SimulatedOutOfMemory(RuntimeError):
     """Raised when a PE would exceed its configured memory limit.
 
@@ -85,6 +92,13 @@ class Machine:
         Attach the runtime invariant checker (see repro.simmpi.sanitizer).
         ``None`` (the default) defers to the ``REPRO_SIMSAN`` environment
         variable; pass ``True``/``False`` to force it on/off.
+    trace_events:
+        Attach the structured event tracer and metrics registry (see
+        repro.obs and docs/observability.md).  ``None`` (the default)
+        defers to the ``REPRO_TRACE`` environment variable; pass
+        ``True``/``False`` to force it on/off.  Tracing never perturbs
+        simulated time: clocks, cost charging, RNG streams and sanitizer
+        behaviour are bit-for-bit identical with tracing on and off.
     """
 
     def __init__(
@@ -96,6 +110,7 @@ class Machine:
         seed: int = 0,
         trace: bool = False,
         sanitize: Optional[bool] = None,
+        trace_events: Optional[bool] = None,
     ):
         if n_procs < 1:
             raise ValueError(f"n_procs must be >= 1, got {n_procs}")
@@ -134,11 +149,32 @@ class Machine:
             self.sanitizer: Optional["Sanitizer"] = Sanitizer(self)
         else:
             self.sanitizer = None
+        if trace_events is None:
+            trace_events = trace_events_env_enabled()
+        if trace_events:
+            from ..kernels.engine import set_kernel_sink
+            from ..obs import EventTracer, MetricsRegistry
+
+            #: Structured event ring buffer (None when tracing is off).
+            self.events: Optional["EventTracer"] = EventTracer(self.n_procs)
+            #: Metrics registry (None when tracing is off).
+            self.metrics: Optional["MetricsRegistry"] = MetricsRegistry()
+            # Segmented kernels report invocation counts / host time to the
+            # most recently created traced machine (docs/observability.md).
+            set_kernel_sink(self.metrics)
+        else:
+            self.events = None
+            self.metrics = None
 
     @property
     def sanitizing(self) -> bool:
         """Whether the runtime invariant checker is attached."""
         return self.sanitizer is not None
+
+    @property
+    def tracing(self) -> bool:
+        """Whether the structured event tracer is attached."""
+        return self.events is not None
 
     def on_pe(self, rank: int):
         """Context manager executing the block as PE ``rank``.
@@ -193,6 +229,10 @@ class Machine:
             self.trace.reset()
         if self.sanitizer is not None:
             self.sanitizer.reset()
+        if self.events is not None:
+            self.events.reset()
+        if self.metrics is not None:
+            self.metrics.reset()
 
     def pe_rng(self, pe: int) -> np.random.Generator:
         """Deterministic per-PE random generator (stable across calls)."""
@@ -264,6 +304,8 @@ class Machine:
             outer_name, outer_start = self._phase_stack[-1]
             self._accumulate(outer_name, self.clock - outer_start)
         self._phase_stack.append((name, self.clock.copy()))
+        if self.events is not None:
+            self.events.push_phase(name, self.clock)
         try:
             yield
         finally:
@@ -273,6 +315,27 @@ class Machine:
                 # Restart outer phase's window from now.
                 outer_name, _ = self._phase_stack[-1]
                 self._phase_stack[-1] = (outer_name, self.clock.copy())
+            if self.events is not None:
+                self.events.pop_phase(name, self.clock)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "span") -> Iterator[None]:
+        """Trace a per-PE span over the block without phase accounting.
+
+        Sub-phase instrumentation (sorting dispatch, kernel batches):
+        opens one span per PE at its current clock on entry and closes it
+        on exit.  A no-op when event tracing is off -- in particular it
+        never touches clocks or phase timers.
+        """
+        ev = self.events
+        if ev is None:
+            yield
+            return
+        ev.begin_ranks(name, self.clock, cat=cat)
+        try:
+            yield
+        finally:
+            ev.end_ranks(name, self.clock, cat=cat)
 
     def _accumulate(self, name: str, delta: np.ndarray) -> None:
         per_pe = self.phase_times_per_pe.setdefault(

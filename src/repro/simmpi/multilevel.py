@@ -135,8 +135,10 @@ def alltoallv_multilevel(
         comm.machine.bytes_communicated += float(bytes_out.sum())
         from .alltoall import _record_trace
 
-        _record_trace(comm, hop_counts, row_bytes)
-        comm._sync_and_charge(cost)
+        _record_trace(comm, hop_counts, row_bytes,
+                      op=f"alltoallv_multilevel/hop{k}")
+        comm._sync_and_charge(cost, op=f"alltoallv_multilevel/hop{k}",
+                              nbytes=float(bytes_out.sum()))
         hop_rows.append(int(hop_counts.sum()))
 
     san = comm.machine.sanitizer

@@ -72,12 +72,20 @@ def normalise(breakdowns: Sequence[PhaseBreakdown]) -> List[PhaseBreakdown]:
 
 def format_table(breakdowns: Mapping[str, PhaseBreakdown] | Sequence[PhaseBreakdown],
                  digits: int = 3) -> str:
-    """ASCII table of phase times, one column per algorithm variant."""
+    """ASCII table of phase times, one column per algorithm variant.
+
+    Canonical phases come first in Fig. 6 legend order; phases outside
+    :data:`PHASES` (the competitors' ``as_*``/``mnd_*``/``dk_*`` steps)
+    follow in sorted order rather than being dropped.
+    """
     if isinstance(breakdowns, Mapping):
         items = list(breakdowns.values())
     else:
         items = list(breakdowns)
     phases = [ph for ph in PHASES if any(b.times.get(ph, 0.0) > 0 for b in items)]
+    extra = sorted({ph for b in items for ph, t in b.times.items()
+                    if ph not in PHASES and t > 0})
+    phases += extra
     header = ["phase"] + [b.algorithm for b in items]
     rows = [header]
     for ph in phases:

@@ -27,7 +27,21 @@ class CommTrace:
         self.n_exchanges = 0
 
     def record(self, bytes_matrix: np.ndarray) -> None:
-        """Add one exchange's (p, p) byte-count matrix."""
+        """Add one exchange's (p, p) byte-count matrix.
+
+        Raises ``ValueError`` for anything other than a numeric
+        ``(n_procs, n_procs)`` matrix -- a malformed record would silently
+        corrupt every later heat map and imbalance number.
+        """
+        bytes_matrix = np.asarray(bytes_matrix)
+        if bytes_matrix.shape != (self.n_procs, self.n_procs):
+            raise ValueError(
+                f"expected a ({self.n_procs}, {self.n_procs}) matrix, "
+                f"got shape {bytes_matrix.shape}")
+        if bytes_matrix.dtype.kind not in "fiub":
+            raise ValueError(
+                f"byte counts must be numeric, got dtype "
+                f"{bytes_matrix.dtype}")
         self.matrix += bytes_matrix
         self.n_exchanges += 1
 
@@ -65,12 +79,11 @@ def comm_heatmap(trace: CommTrace, max_cells: int = 32) -> str:
     if p > max_cells:
         bins = max_cells
         edges = np.linspace(0, p, bins + 1).astype(int)
-        binned = np.zeros((bins, bins))
-        for i in range(bins):
-            for j in range(bins):
-                binned[i, j] = m[edges[i]:edges[i + 1],
-                                 edges[j]:edges[j + 1]].sum()
-        m = binned
+        # p > bins makes the integer edges strictly increasing, so the
+        # reduceat segments are all non-empty (an empty segment would
+        # return the row at its start index instead of a zero sum).
+        m = np.add.reduceat(np.add.reduceat(m, edges[:-1], axis=0),
+                            edges[:-1], axis=1)
     if m.max() <= 0:
         return "(no traffic recorded)"
     scaled = np.log1p(m)
@@ -87,15 +100,22 @@ def comm_heatmap(trace: CommTrace, max_cells: int = 32) -> str:
 
 
 def hotspot_summary(trace: CommTrace, top: int = 3) -> str:
-    """The heaviest senders and pairs -- contention candidates."""
+    """The heaviest senders and pairs -- contention candidates.
+
+    Only PEs/pairs that actually sent bytes are listed: a machine with
+    fewer than ``top`` active senders reports just those, rather than
+    padding the list with meaningless zero-volume entries.
+    """
     rows = trace.row_volumes()
-    order = np.argsort(rows)[::-1][:top]
+    order = [int(i) for i in np.argsort(rows)[::-1][:top] if rows[i] > 0]
+    if not order:
+        return "(no traffic recorded)"
     lines = ["heaviest senders: "
-             + ", ".join(f"PE{int(i)}={rows[i]:.2e}B" for i in order)]
+             + ", ".join(f"PE{i}={rows[i]:.2e}B" for i in order)]
     flat = trace.matrix.ravel()
-    pairs = np.argsort(flat)[::-1][:top]
+    pairs = [int(k) for k in np.argsort(flat)[::-1][:top] if flat[k] > 0]
     p = trace.n_procs
     lines.append("heaviest pairs  : "
-                 + ", ".join(f"PE{int(k // p)}->PE{int(k % p)}"
+                 + ", ".join(f"PE{k // p}->PE{k % p}"
                              f"={flat[k]:.2e}B" for k in pairs))
     return "\n".join(lines)

@@ -11,6 +11,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..obs.hooks import observe_sort
 from ..simmpi.collectives import Comm
 from .common import as_row_matrix, rebalance_blocks
 from .hypercube import sort_hypercube
@@ -45,9 +46,13 @@ def sort_rows(
         avg = total / max(1, comm.size)
         method = "hypercube" if avg < hypercube_threshold else "samplesort"
     if method == "hypercube":
-        out = sort_hypercube(comm, parts, n_key_cols)
+        observe_sort(comm, "hypercube", total)
+        with comm.machine.span("sort_hypercube", cat="sort"):
+            out = sort_hypercube(comm, parts, n_key_cols)
     elif method == "samplesort":
-        out = sort_samplesort(comm, parts, n_key_cols)
+        observe_sort(comm, "samplesort", total)
+        with comm.machine.span("sort_samplesort", cat="sort"):
+            out = sort_samplesort(comm, parts, n_key_cols)
     else:
         raise ValueError(f"unknown sorting method {method!r}")
     if rebalance:

@@ -1,0 +1,362 @@
+"""Tests for the observability layer (repro.obs): tracer, metrics, exports.
+
+The load-bearing property is *tracing invisibility*: a traced machine must
+produce bit-for-bit identical simulated clocks, forests and diagnostics to
+an untraced one.  Everything else (ring buffer semantics, Chrome-trace
+schema, metrics content) is checked against small hand-built cases plus
+full algorithm runs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoruvkaConfig,
+    FilterConfig,
+    minimum_spanning_forest,
+)
+from repro.graphgen import gen_gnm
+from repro.obs import (
+    DEFAULT_CAPACITY,
+    EventTracer,
+    MetricsRegistry,
+    chrome_trace,
+    metrics_to_dict,
+    progress_table,
+    trace_env_enabled,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.simmpi import Comm, Machine
+
+ALGORITHMS = ("boruvka", "filter-boruvka", "awerbuch-shiloach", "mnd-mst")
+
+
+def _config(alg):
+    b = BoruvkaConfig(base_case_min=64)
+    return FilterConfig(boruvka=b) if alg == "filter-boruvka" else b
+
+
+def _run(alg, traced, n=512, m=2048, procs=8):
+    machine = Machine(procs, trace_events=traced)
+    g = gen_gnm(n, m, seed=7)
+    res = minimum_spanning_forest(g.distribute(machine), algorithm=alg,
+                                  config=_config(alg))
+    return machine, res
+
+
+class TestEventTracer:
+    def test_ring_buffer_overwrites_oldest(self):
+        tr = EventTracer(2, capacity=4)
+        for k in range(6):
+            tr.instant(f"e{k}", 0, float(k))
+        assert len(tr) == 4
+        assert tr.dropped == 2
+        names = [ev[1] for ev in tr.events()]
+        assert names == ["e2", "e3", "e4", "e5"]
+
+    def test_events_chronological_before_wraparound(self):
+        tr = EventTracer(1, capacity=8)
+        tr.begin("a", 0, 1.0)
+        tr.end("a", 0, 2.0)
+        phs = [ev[0] for ev in tr.events()]
+        assert phs == ["B", "E"]
+
+    def test_reset_clears_everything(self):
+        tr = EventTracer(2, capacity=4)
+        for k in range(9):
+            tr.instant("x", 0, float(k))
+        tr.set_round(3)
+        tr.push_phase("p", np.zeros(2))
+        tr.reset()
+        assert len(tr) == 0
+        assert tr.dropped == 0
+        assert tr.round == -1
+        assert tr.phase is None
+
+    def test_default_capacity(self):
+        assert EventTracer(2).capacity == DEFAULT_CAPACITY
+
+    def test_capacity_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CAP", "128")
+        assert EventTracer(2).capacity == 128
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not trace_env_enabled()
+        assert Machine(2).events is None
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert trace_env_enabled()
+        m = Machine(2)
+        assert m.events is not None and m.metrics is not None
+        # Explicit argument beats the environment.
+        assert Machine(2, trace_events=False).events is None
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not trace_env_enabled()
+        assert Machine(2).events is None
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_series(self):
+        mx = MetricsRegistry()
+        mx.counter("c").inc()
+        mx.counter("c").inc(2.5)
+        assert mx.counter("c").value == pytest.approx(3.5)
+        mx.gauge("g").set(2.0)
+        mx.gauge("g").set(1.0)
+        assert mx.gauge("g").value == 1.0
+        assert mx.gauge("g").max == 2.0
+        mx.series("s").record(0, 10.0)
+        mx.series("s").record(1, 20.0)
+        assert mx.series("s").points == [(0, 10.0), (1, 20.0)]
+        assert mx.series("s").last() == (1, 20.0)
+
+    def test_histogram_pow2_buckets(self):
+        mx = MetricsRegistry()
+        h = mx.histogram("h")
+        for v in (1.0, 2.0, 3.0, 1000.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(1006.0)
+        assert h.min == 1.0 and h.max == 1000.0
+        assert h.buckets[0] == 1    # 1.0
+        assert h.buckets[1] == 1    # 2.0
+        assert h.buckets[2] == 1    # 3.0
+        assert h.buckets[10] == 1   # 1000.0 <= 2^10
+        assert h.mean == pytest.approx(1006.0 / 4)
+
+    def test_pe_counter(self):
+        mx = MetricsRegistry()
+        pe = mx.pe_counter("p", 4)
+        pe.add(np.array([1.0, 2.0]), ranks=np.array([1, 3]))
+        pe.add(np.ones(4))
+        assert pe.values.tolist() == [1.0, 2.0, 1.0, 3.0]
+
+    def test_reset(self):
+        mx = MetricsRegistry()
+        mx.counter("c").inc()
+        mx.series("s").record(0, 1.0)
+        mx.scratch["tmp"] = 1
+        mx.reset()
+        assert not mx.counters() and not mx.all_series() and not mx.scratch
+
+
+class TestChromeTraceExport:
+    def test_valid_and_loadable(self, tmp_path):
+        machine, _ = _run("boruvka", True)
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(machine.events, path, metadata={"x": 1})
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["n_procs"] == 8
+        assert payload["otherData"]["dropped_events"] == 0
+        # One metadata thread-name per PE plus the machine pseudo-thread.
+        names = [e for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(names) == 8 + 1
+
+    def test_per_pe_threads(self):
+        machine, _ = _run("boruvka", True)
+        payload = chrome_trace(machine.events)
+        tids = {e["tid"] for e in payload["traceEvents"] if e["ph"] == "B"}
+        assert tids >= set(range(1, 9))  # every PE opened spans
+
+    def test_validator_rejects_bad_traces(self):
+        assert validate_chrome_trace([]) == ["top level must be a JSON object"]
+        assert validate_chrome_trace({}) == ["missing or non-array traceEvents"]
+        bad_ph = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("unknown ph" in e for e in validate_chrome_trace(bad_ph))
+        non_monotone = {"traceEvents": [
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 4}]}
+        assert any("non-monotone" in e
+                   for e in validate_chrome_trace(non_monotone))
+        unmatched = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("unclosed" in e for e in validate_chrome_trace(unmatched))
+        cross = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+            {"ph": "E", "name": "b", "pid": 1, "tid": 1, "ts": 1}]}
+        assert any("improper nesting" in e or "no open B" in e
+                   for e in validate_chrome_trace(cross))
+
+    def test_dropped_traces_skip_span_matching(self):
+        tr = EventTracer(1, capacity=2)
+        tr.begin("a", 0, 0.0)
+        tr.instant("x", 0, 1.0)
+        tr.instant("y", 0, 2.0)  # overwrites the B
+        assert tr.dropped == 1
+        assert validate_chrome_trace(chrome_trace(tr)) == []
+
+
+class TestMetricsExport:
+    def test_round_series_and_dump(self, tmp_path):
+        machine, _ = _run("boruvka", True, n=4096, m=16384)
+        md = metrics_to_dict(machine.metrics)
+        rounds = md["series"]["round/vertices"]
+        assert len(rounds) >= 1
+        # Vertex counts shrink monotonically across Borůvka rounds.
+        vertices = [v for _, v in rounds]
+        assert vertices == sorted(vertices, reverse=True)
+        assert len(md["series"]["round/edges"]) == len(rounds)
+        assert len(md["series"]["round/bytes"]) == len(rounds)
+        assert all(b > 0 for _, b in md["series"]["round/bytes"])
+        assert len(md["series"]["round/clock_skew_s"]) == len(rounds)
+        assert all(i >= 1.0
+                   for _, i in md["series"]["round/send_imbalance"])
+        per_pe = md["per_pe"]["alltoall/sent_bytes_per_pe"]
+        assert len(per_pe) == 8 and sum(per_pe) > 0
+        path = tmp_path / "m.json"
+        write_metrics(machine.metrics, path)
+        assert json.loads(path.read_text()) == md
+
+    def test_collective_and_alltoall_counters(self):
+        machine, _ = _run("boruvka", True)
+        md = metrics_to_dict(machine.metrics)
+        assert md["counters"]["collective/allreduce/count"] >= 1
+        ex = [k for k in md["counters"]
+              if k.startswith("alltoall/") and k.endswith("/exchanges")]
+        assert ex, "no all-to-all exchanges recorded"
+
+    def test_kernel_counters_flow_to_sink(self):
+        machine, _ = _run("boruvka", True)
+        md = metrics_to_dict(machine.metrics)
+        kernels = [k for k in md["counters"] if k.startswith("kernel/")]
+        assert any(k.endswith("/calls") for k in kernels)
+        assert any(k.endswith("/host_seconds") for k in kernels)
+
+    def test_filter_metrics(self):
+        machine, _ = _run("filter-boruvka", True, n=2048, m=16384)
+        md = metrics_to_dict(machine.metrics)
+        assert md["counters"]["filter/recursions"] >= 1
+        assert md["series"]["filter/edges_at_depth"]
+
+    def test_progress_table(self):
+        machine, _ = _run("boruvka", True, n=4096, m=16384)
+        table = progress_table(machine.metrics)
+        assert "vertices" in table and "round" in table
+        assert progress_table(MetricsRegistry()) \
+            == "(no per-round series recorded)"
+
+
+class TestTracingInvisibility:
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_bit_for_bit_identical(self, alg):
+        m_off, r_off = _run(alg, False)
+        m_on, r_on = _run(alg, True)
+        assert np.array_equal(m_off.clock, m_on.clock)
+        assert r_off.elapsed == r_on.elapsed
+        assert r_off.total_weight == r_on.total_weight
+        assert r_off.phase_times == r_on.phase_times
+        assert m_off.bytes_communicated == m_on.bytes_communicated
+        assert m_off.n_collectives == m_on.n_collectives
+        assert len(m_on.events) > 0
+
+    def test_invisible_under_sanitizer(self):
+        m_off, r_off = _run("boruvka", False)
+        machine = Machine(8, sanitize=True, trace_events=True)
+        g = gen_gnm(512, 2048, seed=7)
+        r_on = minimum_spanning_forest(g.distribute(machine),
+                                       algorithm="boruvka",
+                                       config=_config("boruvka"))
+        assert np.array_equal(m_off.clock, machine.clock)
+        assert r_off.elapsed == r_on.elapsed
+
+
+class TestMachineIntegration:
+    def test_reset_clears_events_and_metrics(self):
+        machine, _ = _run("boruvka", True)
+        assert len(machine.events) > 0
+        assert machine.metrics.counters()
+        machine.reset()
+        assert len(machine.events) == 0
+        assert machine.events.dropped == 0
+        assert not machine.metrics.counters()
+        assert not machine.metrics.all_series()
+
+    def test_reset_reproduces_traced_run(self):
+        machine = Machine(8, trace_events=True)
+        g = gen_gnm(512, 2048, seed=7)
+        minimum_spanning_forest(g.distribute(machine), algorithm="boruvka",
+                                config=_config("boruvka"))
+        n_events = len(machine.events)
+        clock = machine.clock.copy()
+        machine.reset()
+        minimum_spanning_forest(g.distribute(machine), algorithm="boruvka",
+                                config=_config("boruvka"))
+        assert len(machine.events) == n_events
+        assert np.array_equal(machine.clock, clock)
+
+    def test_phase_spans_nest_properly(self):
+        machine = Machine(2, trace_events=True)
+        with machine.phase("min_edges"):
+            machine.charge(1.0)
+            with machine.phase("filter"):
+                machine.charge(1.0)
+        payload = chrome_trace(machine.events)
+        assert validate_chrome_trace(payload) == []
+        spans = [(e["ph"], e["name"]) for e in payload["traceEvents"]
+                 if e.get("args", {}).get("round") is not None
+                 or e["ph"] in "BE"]
+        assert ("B", "min_edges") in spans and ("E", "filter") in spans
+
+    def test_span_helper_noop_untraced(self):
+        machine = Machine(2)
+        with machine.span("anything"):
+            machine.charge(1.0)
+        assert machine.elapsed() == pytest.approx(1.0)
+
+    def test_collective_spans_only_cover_participants(self):
+        machine = Machine(4, trace_events=True)
+        sub = Comm(machine, ranks=[1, 3])
+        sub.barrier()
+        ranks = {ev[3] for ev in machine.events.events()
+                 if ev[1] == "barrier"}
+        assert ranks == {1, 3}
+
+
+class TestRunnerIntegration:
+    def test_trace_dir_artifacts(self, tmp_path, monkeypatch):
+        from repro.analysis import run_algorithm
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        g = gen_gnm(512, 2048, seed=7)
+        r = run_algorithm(g, "boruvka", 8, config=_config("boruvka"),
+                          trace_events=True)
+        assert r.status == "ok"
+        traces = list(tmp_path.glob("*.trace.json"))
+        metrics = list(tmp_path.glob("*.metrics.json"))
+        assert len(traces) == 1 and len(metrics) == 1
+        assert validate_chrome_trace(json.loads(traces[0].read_text())) == []
+
+    def test_untraced_run_writes_nothing(self, tmp_path, monkeypatch):
+        from repro.analysis import run_algorithm
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        g = gen_gnm(512, 2048, seed=7)
+        run_algorithm(g, "boruvka", 8, config=_config("boruvka"))
+        assert not list(tmp_path.iterdir())
+
+
+class TestProfileCLI:
+    def test_profile_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_out = tmp_path / "p.trace.json"
+        metrics_out = tmp_path / "p.metrics.json"
+        rc = main(["profile", "--algo", "boruvka", "--procs", "8",
+                   "-n", "1024", "-m", "4096",
+                   "--trace-out", str(trace_out),
+                   "--metrics-out", str(metrics_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "round" in out and "(valid)" in out
+        assert validate_chrome_trace(
+            json.loads(trace_out.read_text())) == []
+        md = json.loads(metrics_out.read_text())
+        assert "round/vertices" in md["series"]

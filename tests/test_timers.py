@@ -68,3 +68,48 @@ class TestNormaliseEdgeCases:
                                                "filter": 0.0})])
         assert "min_edges" in t
         assert "relabel" not in t
+
+    def test_normalise_all_zero_breakdowns_pass_through(self):
+        """A configuration where nothing ran must not divide by zero."""
+        bds = [PhaseBreakdown("a", {"min_edges": 0.0}),
+               PhaseBreakdown("b", {})]
+        out = normalise(bds)
+        assert [b.times for b in out] == [{"min_edges": 0.0}, {}]
+        # And the copies are independent of the inputs.
+        out[0].times["min_edges"] = 9.0
+        assert bds[0].times["min_edges"] == 0.0
+
+    def test_normalise_preserves_relative_shares(self):
+        out = normalise([PhaseBreakdown("slow", {"min_edges": 8.0}),
+                         PhaseBreakdown("fast", {"min_edges": 2.0})])
+        assert out[0].total == pytest.approx(1.0)
+        assert out[1].total == pytest.approx(0.25)
+
+    def test_format_table_all_zero_shows_totals_only(self):
+        t = format_table([PhaseBreakdown("a", {"min_edges": 0.0})])
+        lines = t.splitlines()
+        assert lines[0].startswith("phase")
+        assert lines[-1].startswith("total")
+        assert "min_edges" not in t
+
+    def test_format_table_noncanonical_phases_appended(self):
+        """Competitor phases outside PHASES are listed, not dropped."""
+        t = format_table([PhaseBreakdown("as", {"as_hook": 2.0,
+                                                "as_resolve": 1.0,
+                                                "min_edges": 3.0})])
+        lines = t.splitlines()
+        assert "as_hook" in t and "as_resolve" in t
+        # Canonical first, then extras in sorted order.
+        idx = {ph: i for i, ph in
+               enumerate(line.split()[0] for line in lines)}
+        assert idx["min_edges"] < idx["as_hook"] < idx["as_resolve"]
+
+    def test_format_table_mapping_and_sequence_agree(self):
+        bds = [PhaseBreakdown("x", {"filter": 1.0}),
+               PhaseBreakdown("y", {"filter": 2.0})]
+        assert format_table({"x": bds[0], "y": bds[1]}) \
+            == format_table(bds)
+
+    def test_format_table_digits(self):
+        t = format_table([PhaseBreakdown("a", {"filter": 0.5})], digits=1)
+        assert "0.5" in t and "0.500" not in t

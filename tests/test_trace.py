@@ -106,6 +106,61 @@ class TestRendering:
         out = hotspot_summary(t)
         assert "PE2" in out and "PE2->PE1" in out
 
+    def test_hotspots_skip_zero_volume_entries(self):
+        """Fewer than top-k active senders: no zero-volume padding."""
+        t = CommTrace(8)
+        m = np.zeros((8, 8))
+        m[5, 2] = 10.0
+        t.record(m)
+        out = hotspot_summary(t, top=3)
+        assert out.count("PE") == 3  # PE5 sender + the PE5->PE2 pair
+        assert "=0.00e+00B" not in out
+
+    def test_hotspots_empty_trace(self):
+        assert hotspot_summary(CommTrace(4)) == "(no traffic recorded)"
+
+    def test_binned_heatmap_matches_reference_on_uneven_edges(self):
+        """Vectorised binning is byte-for-byte the old per-cell loop."""
+        rng = np.random.default_rng(11)
+        for p, bins in ((33, 32), (50, 32), (100, 32), (41, 8)):
+            t = CommTrace(p)
+            t.record(rng.integers(0, 1 << 20, (p, p)).astype(np.float64))
+            edges = np.linspace(0, p, bins + 1).astype(int)
+            ref = np.zeros((bins, bins))
+            for i in range(bins):
+                for j in range(bins):
+                    ref[i, j] = t.matrix[edges[i]:edges[i + 1],
+                                         edges[j]:edges[j + 1]].sum()
+            binned = np.add.reduceat(
+                np.add.reduceat(t.matrix, edges[:-1], axis=0),
+                edges[:-1], axis=1)
+            assert np.array_equal(ref, binned), (p, bins)
+            rendered = comm_heatmap(t, max_cells=bins)
+            assert len(rendered.splitlines()) == bins + 2
+
+
+class TestRecordValidation:
+    def test_rejects_wrong_shape(self):
+        t = CommTrace(4)
+        with pytest.raises(ValueError, match="matrix"):
+            t.record(np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="matrix"):
+            t.record(np.zeros(4))
+        assert t.n_exchanges == 0
+
+    def test_rejects_non_numeric_dtype(self):
+        t = CommTrace(2)
+        with pytest.raises(ValueError, match="numeric"):
+            t.record(np.array([["a", "b"], ["c", "d"]]))
+        assert t.n_exchanges == 0
+
+    def test_accepts_integer_and_list_input(self):
+        t = CommTrace(2)
+        t.record(np.ones((2, 2), dtype=np.int64))
+        t.record([[1, 2], [3, 4]])
+        assert t.n_exchanges == 2
+        assert t.total_bytes() == 14.0
+
 
 @pytest.fixture
 def rng():
