@@ -1,0 +1,81 @@
+"""Recovery overhead of the fault-injection subsystem (docs/faults.md).
+
+Unlike the other benchmarks this one measures a property of the *simulator
+extension*, not of the paper: how much simulated time checkpoint/replay and
+retransmission recovery add as the injected fault rate grows.  Each sweep
+point runs the same GNM instance under a schedule scaling all fault
+probabilities together, and asserts the subsystem's two contracts:
+
+* every surviving run returns the *bit-identical* MSF weight of the
+  fault-free run (recovery never changes the answer, only the clock);
+* recovery is honestly charged -- the makespan is strictly above the
+  fault-free run's once any event is injected, and grows with the rate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_algorithm
+from repro.core import BoruvkaConfig
+
+from _common import (
+    MAX_CORES,
+    PER_CORE_EDGES,
+    PER_CORE_VERTICES,
+    bench_recorder,
+    cached_graph,
+    report,
+)
+
+CORES = min(MAX_CORES, 16)
+#: Multipliers applied to the base schedule's probabilities (0 = fault-free).
+RATES = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def _schedule(rate: float) -> str:
+    """Fault spec with every probability scaled by ``rate``."""
+    return (f"seed=11, pe_fail={0.02 * rate}, msg_drop={0.005 * rate}, "
+            f"corrupt={0.02 * rate}, straggle={0.01 * rate}")
+
+
+def _sweep():
+    g = cached_graph("family", family="GNM",
+                     n=PER_CORE_VERTICES * CORES,
+                     m=PER_CORE_EDGES * CORES, seed=11)
+    # Small base case keeps several distributed rounds exposed to fail-stop
+    # events (rounds are the checkpoint/replay granularity).
+    cfg = BoruvkaConfig(base_case_min=64)
+    rows = []
+    for rate in RATES:
+        faults = _schedule(rate) if rate > 0 else False
+        r = run_algorithm(g, "boruvka", CORES, config=cfg, seed=11,
+                          faults=faults)
+        events = r.stats.get("fault_events", {})
+        rows.append((rate, r.elapsed, r.total_weight,
+                     sum(events.values()), events))
+    return rows
+
+
+def test_fault_recovery_overhead(benchmark):
+    with bench_recorder("fault_recovery") as rec:
+        rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for rate, t, _, _, _ in rows:
+            rec.add(f"rate={rate}", t)
+
+    base_t = rows[0][1]
+    lines = [f"Fault-recovery overhead on GNM, {CORES} cores, time [sim s]",
+             f"{'rate':>6s} {'time':>12s} {'overhead':>9s} {'events':>7s}"]
+    for rate, t, _, n_events, _ in rows:
+        lines.append(f"{rate:6.2f} {t:12.6f} {t / base_t - 1:+9.2%} "
+                     f"{n_events:7d}")
+    report("fault_recovery", "\n".join(lines))
+
+    # Contract 1: recovery never changes the answer.
+    weights = {w for _, _, w, _, _ in rows}
+    assert len(weights) == 1, (
+        f"fault recovery changed the MSF weight: {weights}")
+
+    # Contract 2: recovery costs simulated time, increasing with the rate.
+    top = rows[-1]
+    assert top[3] > 0, "top fault rate injected no events -- sweep too small"
+    assert top[1] > base_t, (
+        "injected faults were recovered for free (no simulated-time charge)")

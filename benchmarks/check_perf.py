@@ -3,37 +3,63 @@
 
 Usage::
 
-    python benchmarks/check_perf.py FRESH BASELINE [MAX_RATIO]
+    python benchmarks/check_perf.py FRESH BASELINE [--max-ratio R]
+    python benchmarks/check_perf.py FRESH BASELINE --update-baseline
+                                    [--allow-simulated-change]
 
-Exits non-zero when
+Check mode (the default) exits non-zero when
 
-* the fresh ``wall_seconds`` exceeds ``MAX_RATIO`` (default 2.0) times the
+* the fresh ``wall_seconds`` exceeds ``--max-ratio`` (default 2.0) times the
   baseline wall-clock -- the perf-smoke regression gate, or
 * any simulated entry differs from the baseline -- simulated seconds are
   machine-independent and must be bit-for-bit reproducible, so a mismatch
   means the modelled algorithm changed; regenerate the baseline in the same
   commit if the change is intentional.
+
+``--update-baseline`` overwrites BASELINE with FRESH instead of checking.
+Updating is for wall-clock drift (new CI hardware, interpreter upgrades):
+it *refuses* to run when the simulated series changed, because that would
+silently launder a modelling change into the baseline.  Pass
+``--allow-simulated-change`` only when the simulated change is the
+intentional, reviewed subject of the same commit.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import shutil
 import sys
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) < 3:
-        print(__doc__)
-        return 2
-    fresh_path, base_path = argv[1], argv[2]
-    max_ratio = float(argv[3]) if len(argv) > 3 else 2.0
-    with open(fresh_path) as f:
-        fresh = json.load(f)
-    with open(base_path) as f:
-        base = json.load(f)
+def _load(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
 
+
+def simulated_diffs(fresh: dict, base: dict) -> list[str]:
+    """Human-readable differences between the two simulated series."""
+    sim_fresh = {e["label"]: e for e in fresh.get("simulated", [])}
+    sim_base = {e["label"]: e for e in base.get("simulated", [])}
+    out = []
+    if set(sim_fresh) != set(sim_base):
+        only_f = sorted(set(sim_fresh) - set(sim_base))
+        only_b = sorted(set(sim_base) - set(sim_fresh))
+        out.append(f"series mismatch: only-fresh {only_f[:5]}, "
+                   f"only-baseline {only_b[:5]}")
+        return out
+    drifted = [label for label in sim_base
+               if sim_fresh[label]["simulated_seconds"]
+               != sim_base[label]["simulated_seconds"]]
+    if drifted:
+        out.append("simulated seconds drifted (machine-independent, must "
+                   f"be bit-for-bit): {drifted[:10]}")
+    return out
+
+
+def check(fresh: dict, base: dict, max_ratio: float) -> list[str]:
+    """The regression gate; returns failure messages (empty = pass)."""
     failures = []
-
     wall_fresh = fresh["wall_seconds"]
     wall_base = base["wall_seconds"]
     ratio = wall_fresh / wall_base if wall_base else float("inf")
@@ -43,30 +69,68 @@ def main(argv: list[str]) -> int:
         failures.append(
             f"wall-clock regression: {wall_fresh:.2f}s > "
             f"{max_ratio} * {wall_base:.2f}s")
+    failures += simulated_diffs(fresh, base)
+    if not failures:
+        print(f"simulated series: {len(fresh.get('simulated', []))} "
+              f"entries identical")
+    return failures
 
-    sim_fresh = {e["label"]: e for e in fresh.get("simulated", [])}
-    sim_base = {e["label"]: e for e in base.get("simulated", [])}
-    if set(sim_fresh) != set(sim_base):
-        only_f = sorted(set(sim_fresh) - set(sim_base))
-        only_b = sorted(set(sim_base) - set(sim_fresh))
-        failures.append(
-            f"simulated series mismatch: only-fresh {only_f[:5]}, "
-            f"only-baseline {only_b[:5]}")
+
+def update_baseline(fresh_path: str, base_path: str, fresh: dict,
+                    base: dict, allow_simulated: bool) -> list[str]:
+    """Overwrite the baseline, guarding against simulated-series drift."""
+    diffs = simulated_diffs(fresh, base)
+    if diffs and not allow_simulated:
+        return [msg + "\nrefusing to update the baseline: simulated "
+                "series are the *correctness* record, not a perf number. "
+                "If the modelling change is intentional and reviewed, "
+                "re-run with --allow-simulated-change."
+                for msg in diffs]
+    if diffs:
+        print(f"updating baseline INCLUDING {len(diffs)} simulated "
+              f"change(s) (--allow-simulated-change)")
+    shutil.copyfile(fresh_path, base_path)
+    print(f"baseline updated: {base_path} <- {fresh_path} "
+          f"(wall {base.get('wall_seconds', 0):.2f}s -> "
+          f"{fresh['wall_seconds']:.2f}s)")
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check or refresh a benchmark baseline",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=__doc__)
+    parser.add_argument("fresh", help="fresh BENCH_<name>.json")
+    parser.add_argument("baseline", help="checked-in baseline json")
+    parser.add_argument("max_ratio_pos", nargs="?", type=float,
+                        metavar="MAX_RATIO",
+                        help="legacy positional form of --max-ratio")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="max fresh/baseline wall-clock ratio "
+                             "(default 2.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="overwrite BASELINE with FRESH instead of "
+                             "checking (refused on simulated drift)")
+    parser.add_argument("--allow-simulated-change", action="store_true",
+                        help="with --update-baseline: accept a changed "
+                             "simulated series (intentional modelling "
+                             "change)")
+    args = parser.parse_args(argv)
+    max_ratio = args.max_ratio if args.max_ratio is not None \
+        else (args.max_ratio_pos if args.max_ratio_pos is not None else 2.0)
+
+    fresh = _load(args.fresh)
+    base = _load(args.baseline)
+    if args.update_baseline:
+        failures = update_baseline(args.fresh, args.baseline, fresh, base,
+                                   args.allow_simulated_change)
     else:
-        diffs = [label for label in sim_base
-                 if sim_fresh[label]["simulated_seconds"]
-                 != sim_base[label]["simulated_seconds"]]
-        if diffs:
-            failures.append(
-                "simulated seconds drifted (machine-independent, must be "
-                f"bit-for-bit): {diffs[:10]}")
-        else:
-            print(f"simulated series: {len(sim_base)} entries identical")
-
+        failures = check(fresh, base, max_ratio)
     for msg in failures:
         print(f"FAIL: {msg}", file=sys.stderr)
     return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

@@ -99,16 +99,19 @@ def run_algorithm(
     verify: bool = False,
     seed: int = 0,
     trace_events: Optional[bool] = None,
+    faults: Optional[object] = None,
 ) -> ExperimentResult:
     """Execute one algorithm on a fresh simulated machine.
 
     ``trace_events=None`` defers to ``REPRO_TRACE`` (the machine default);
     traced runs additionally export Chrome-trace/metrics artifacts when
-    ``REPRO_TRACE_DIR`` names a directory.
+    ``REPRO_TRACE_DIR`` names a directory.  ``faults`` is forwarded to the
+    machine (a spec string, :class:`~repro.faults.FaultSchedule`, or None
+    for the ``REPRO_FAULTS`` default; see docs/faults.md).
     """
     machine = Machine(n_procs, threads=threads, cost=cost,
                       memory_limit_bytes=memory_limit_bytes, seed=seed,
-                      trace_events=trace_events)
+                      trace_events=trace_events, faults=faults)
     base = ExperimentResult(
         instance=graph.name,
         algorithm=algorithm,
@@ -132,6 +135,8 @@ def run_algorithm(
     base.phase_times = res.phase_times
     base.stats = res.stats
     base.total_weight = res.total_weight
+    if machine.faults is not None:
+        base.stats["fault_events"] = machine.faults.summary()
     _export_trace_artifacts(machine, graph, algorithm)
     if verify:
         from ..seq.verify import verify_msf

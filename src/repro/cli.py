@@ -10,6 +10,9 @@ Subcommands
 ``sweep``   run a weak- or strong-scaling sweep and print the series table;
 ``profile`` run one algorithm with event tracing on and export a
             Chrome/Perfetto trace plus a JSON metrics dump;
+``faults``  run one algorithm twice -- fault-free and under an injected
+            fault schedule -- verify the recovered MST weight matches
+            bit-for-bit, and report the recovery overhead;
 ``info``    show instance statistics of a saved ``.npz`` graph.
 
 Examples
@@ -20,6 +23,8 @@ Examples
     python -m repro mst gnm.npz --algorithm filter-boruvka --procs 16 --threads 4
     python -m repro sweep --family 2D-RGG --cores 4,16,64 --algorithms boruvka,mnd-mst
     python -m repro profile --algo boruvka --procs 16 --trace-out b.trace.json
+    python -m repro faults --algo boruvka --procs 16 \\
+        --schedule "seed=7,pe_fail=0.05,msg_drop=0.01,corrupt=0.05"
     python -m repro info gnm.npz
 """
 
@@ -120,6 +125,33 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
                    help="run under the runtime invariant sanitizer")
 
 
+def _add_faults(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "faults",
+        help="inject a fault schedule, verify recovery, report overhead")
+    p.add_argument("graph", nargs="?",
+                   help="instance .npz (default: a generated instance)")
+    p.add_argument("--algo", "--algorithm", dest="algorithm",
+                   default="boruvka",
+                   help="boruvka | filter-boruvka")
+    p.add_argument("--schedule", default="seed=0,pe_fail=0.05,msg_drop=0.01,"
+                                         "corrupt=0.05,straggle=0.02",
+                   help="fault spec string (grammar in docs/faults.md)")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--family", choices=_families(), default="GNM",
+                   help="generated family when no graph file is given")
+    p.add_argument("-n", type=int, default=4096, help="generated vertices")
+    p.add_argument("-m", type=int, default=16384, help="generated edges")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--base-case-min", type=int, default=64,
+                   help="base-case vertex threshold (small keeps more "
+                        "distributed rounds exposed to fail-stop events)")
+    p.add_argument("--simsan", action="store_true",
+                   help="run both the baseline and the faulty run under "
+                        "the runtime invariant sanitizer")
+
+
 def _add_info(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("info", help="show instance statistics")
     p.add_argument("graph", help="instance .npz")
@@ -150,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_cc(sub)
     _add_sweep(sub)
     _add_profile(sub)
+    _add_faults(sub)
     _add_info(sub)
     args = parser.parse_args(argv)
     if getattr(args, "simsan", False):
@@ -162,6 +195,7 @@ def main(argv: list[str] | None = None) -> int:
         "cc": _cmd_cc,
         "sweep": _cmd_sweep,
         "profile": _cmd_profile,
+        "faults": _cmd_faults,
         "info": _cmd_info,
     }[args.command](args)
 
@@ -310,6 +344,52 @@ def _cmd_profile(args) -> int:
             print(f"trace problem   : {msg}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_faults(args) -> int:
+    from .core import BoruvkaConfig, FilterConfig, minimum_spanning_forest
+    from .faults import FaultSchedule
+    from .graphgen import gen_family, load_npz
+    from .simmpi import Machine
+
+    schedule = FaultSchedule.parse(args.schedule)
+    if args.graph:
+        g = load_npz(args.graph)
+    else:
+        g = gen_family(args.family, args.n, args.m, seed=args.seed)
+
+    def run(faults):
+        machine = Machine(args.procs, threads=args.threads, faults=faults)
+        b = BoruvkaConfig(base_case_min=args.base_case_min)
+        config = (FilterConfig(boruvka=b)
+                  if args.algorithm == "filter-boruvka" else b)
+        result = minimum_spanning_forest(g.distribute(machine),
+                                         algorithm=args.algorithm,
+                                         config=config)
+        return machine, result
+
+    _, clean = run(faults=False)
+    machine, faulty = run(faults=schedule)
+
+    print(f"instance        : {g.name} (n={g.n_vertices}, "
+          f"m={g.n_undirected_edges})")
+    print(f"algorithm       : {faulty.algorithm} on {args.procs} procs "
+          f"x {args.threads} threads")
+    print(f"schedule        : {args.schedule}")
+    print(f"fault-free time : {clean.elapsed * 1e3:.4f} ms "
+          f"({clean.rounds} rounds)")
+    print(f"faulty time     : {faulty.elapsed * 1e3:.4f} ms "
+          f"({faulty.rounds} rounds)")
+    print(f"recovery cost   : {(faulty.elapsed / clean.elapsed - 1) * 100:+.2f}%")
+    counts = machine.faults.summary() if machine.faults is not None else {}
+    print("injected events :" + ("" if counts else " none"))
+    for kind, n in counts.items():
+        print(f"  {kind:20s} {n:6d}")
+    ok = faulty.total_weight == clean.total_weight
+    verdict = ("OK, matches fault-free run" if ok
+               else f"MISMATCH vs {clean.total_weight}")
+    print(f"MSF weight      : {faulty.total_weight} ({verdict})")
+    return 0 if ok else 1
 
 
 def _cmd_info(args) -> int:

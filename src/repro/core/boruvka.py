@@ -104,22 +104,42 @@ def global_vertex_count(graph: DistGraph, run: MSTRun) -> int:
 
 
 def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
-    """The distributed Borůvka main loop (without preprocessing/base case)."""
+    """The distributed Borůvka main loop (without preprocessing/base case).
+
+    When a fault injector with fail-stop events is attached
+    (``machine.faults``, see docs/faults.md), every round is bracketed by
+    a :class:`~repro.faults.RoundCheckpoint`: the round input is
+    replicated to buddy PEs before the round, a failure heartbeat is
+    polled at the round barrier, and on a fail-stop the checkpoint is
+    restored and the round replayed -- with the RNG streams rolled back,
+    so the replay recomputes exactly the same contraction (the
+    bit-identical-MST recovery invariant).  Replays do not consume
+    ``max_rounds`` budget; they are bounded by the schedule's
+    ``max_replays`` instead.
+    """
     machine = graph.machine
     cfg = run.cfg
+    fi = machine.faults
     # "By choosing the size threshold >= p, we take into account that up to
     # p-1 shared vertices are not contracted in our distributed Borůvka
     # rounds" (Section IV) -- below p the loop could stall on a remainder of
     # shared vertices, so p is enforced as a floor.
     threshold = max(cfg.base_case_factor * machine.n_procs,
                     cfg.base_case_min, machine.n_procs)
-    for _ in range(cfg.max_rounds):
+    rounds_done = 0
+    while rounds_done < cfg.max_rounds:
         n_edges = graph.global_edge_count()
         if n_edges == 0:
             return graph
         n_vertices = global_vertex_count(graph, run)
         if n_vertices <= threshold:
             return graph
+        ckpt = None
+        if fi is not None and fi.protects_rounds:
+            from ..faults.recovery import RoundCheckpoint
+
+            with machine.phase("fault_checkpoint"):
+                ckpt = RoundCheckpoint.take(graph, run)
         # Both counts were needed for control flow anyway; the hooks reuse
         # them so tracing never issues extra collectives.
         observe_round_start(machine, run.rounds, n_vertices, n_edges)
@@ -133,12 +153,20 @@ def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
         with machine.phase("relabel"):
             relabelled = relabel(graph, vids, labels, tables, run)
         with machine.phase("redistribute"):
-            graph = redistribute(run, machine, relabelled)
+            new_graph = redistribute(run, machine, relabelled)
+        if ckpt is not None:
+            failed = fi.poll_pe_failures(run.rounds)
+            if len(failed):
+                fi.count_replay(run.rounds)
+                with machine.phase("fault_recovery"):
+                    graph = ckpt.restore(run, failed)
+                continue
+        graph = new_graph
         machine.checkpoint(f"boruvka_round_{run.rounds}")
         observe_round_end(machine, run.rounds)
         run.rounds += 1
-    else:
-        raise RuntimeError("distributed Borůvka exceeded max_rounds")
+        rounds_done += 1
+    raise RuntimeError("distributed Borůvka exceeded max_rounds")
 
 
 def redistribute_mst(run: MSTRun, snapshot: InputSnapshot) -> List[Edges]:

@@ -1,0 +1,27 @@
+"""repro.faults: deterministic fault injection and recovery (docs/faults.md).
+
+Attach with ``Machine(..., faults="pe_fail=0.05,seed=7")`` or via the
+``REPRO_FAULTS`` environment variable.  The subsystem injects PE
+fail-stop, message drop, payload corruption and straggler/slow-link
+events into the simulated machine, detects them (timeouts, checksums,
+round heartbeats) and recovers (retry with exponential backoff,
+retransmission, round-granularity checkpoint/restart) -- charging every
+recovery action through the alpha+beta*l cost model so degraded runs
+report honest simulated times, while the *data* outcome of any surviving
+run stays bit-identical to the fault-free run.
+"""
+
+from .checksum import buffer_checksum, flip_bit
+from .injector import FaultInjector, UnrecoverableFault
+from .recovery import RoundCheckpoint
+from .schedule import FaultSchedule, faults_env_spec
+
+__all__ = [
+    "FaultSchedule",
+    "FaultInjector",
+    "RoundCheckpoint",
+    "UnrecoverableFault",
+    "buffer_checksum",
+    "flip_bit",
+    "faults_env_spec",
+]

@@ -1,0 +1,214 @@
+"""Fault schedules: the deterministic, seed-driven fault plan of a run.
+
+A :class:`FaultSchedule` describes *which* faults a simulated run should
+suffer -- fail-stop PEs, dropped messages, corrupted payloads, stragglers
+and permanently slow links -- plus the recovery knobs (detection timeout,
+retry budget, replay budget).  It is parsed from a compact spec string, the
+same way ``sanitize=`` / ``trace_events=`` runs are requested:
+
+* ``Machine(..., faults="seed=7,msg_drop=0.01")`` attaches an injector
+  explicitly;
+* the ``REPRO_FAULTS`` environment variable supplies the spec for machines
+  created without an explicit ``faults=`` argument.
+
+Spec grammar (items separated by ``,`` or ``;``, see docs/faults.md)::
+
+    seed=INT               base seed of the injector RNG stream (default 0)
+    pe_fail=PROB           per-PE per-round fail-stop probability
+    pe_fail@ROUND:PE       one-shot fail-stop of PE at end of Boruvka ROUND
+    msg_drop=PROB          per-operation message-loss probability
+    corrupt=PROB           per-exchange payload-corruption probability
+    straggle=PROB[xF]      per-operation per-rank slowdown by factor F (8)
+    slow_link=PE[xF]       permanent comm slowdown of PE by factor F (4)
+    timeout=SECONDS        failure-detection timeout (default 1e-4)
+    retries=INT            max retransmit attempts per operation (default 5)
+    max_replays=INT        max replays of one Boruvka round (default 8)
+
+All decisions an injector makes from a schedule are drawn from one
+dedicated RNG stream seeded by ``seed`` -- never from the machine's per-PE
+streams -- so a fault schedule perturbs *when faults strike* but not the
+algorithms' own random choices, and two runs with the same schedule inject
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Default straggler slowdown factor (``straggle=P`` without ``xF``).
+DEFAULT_STRAGGLE_FACTOR = 8.0
+#: Default slow-link slowdown factor (``slow_link=PE`` without ``xF``).
+DEFAULT_SLOW_LINK_FACTOR = 4.0
+
+#: ``REPRO_FAULTS`` values treated as "disabled" rather than parsed.
+_DISABLED_VALUES = ("", "0", "false", "no", "off")
+
+
+def faults_env_spec() -> Optional[str]:
+    """The ``REPRO_FAULTS`` spec string, or ``None`` when unset/disabled."""
+    value = os.environ.get("REPRO_FAULTS", "").strip()
+    if value.lower() in _DISABLED_VALUES:
+        return None
+    return value
+
+
+def _prob(key: str, text: str) -> float:
+    try:
+        p = float(text)
+    except ValueError:
+        raise ValueError(f"fault spec: {key}={text!r} is not a probability")
+    if not 0.0 <= p < 1.0:
+        raise ValueError(
+            f"fault spec: {key}={p} out of range (need 0 <= p < 1)")
+    return p
+
+
+def _factor(key: str, text: str, default: float) -> Tuple[str, float]:
+    """Split ``VALUExF`` into (value, factor >= 1)."""
+    if "x" in text:
+        value, _, f = text.rpartition("x")
+        try:
+            factor = float(f)
+        except ValueError:
+            raise ValueError(f"fault spec: {key}={text!r} has a bad factor")
+    else:
+        value, factor = text, default
+    if factor < 1.0:
+        raise ValueError(
+            f"fault spec: {key} slowdown factor {factor} must be >= 1")
+    return value, factor
+
+
+@dataclass
+class FaultSchedule:
+    """Parsed fault plan; all fields have fault-free defaults.
+
+    An all-defaults schedule (``FaultSchedule()`` or a spec naming only
+    ``seed=``/knobs) injects nothing: a machine carrying it behaves
+    bit-for-bit like one with no fault subsystem attached (the empty-
+    schedule identity invariant, tested in
+    ``tests/test_property_differential.py``).
+    """
+
+    #: Base seed of the injector's dedicated RNG stream.
+    seed: int = 0
+    #: Per-PE per-round fail-stop probability.
+    pe_fail: float = 0.0
+    #: One-shot fail-stop events: (round, pe) pairs, fired at round end.
+    pe_fail_at: List[Tuple[int, int]] = field(default_factory=list)
+    #: Per-operation message-loss probability.
+    msg_drop: float = 0.0
+    #: Per-exchange payload-corruption probability.
+    corrupt: float = 0.0
+    #: Per-operation per-rank straggler probability.
+    straggle: float = 0.0
+    #: Straggler slowdown factor.
+    straggle_factor: float = DEFAULT_STRAGGLE_FACTOR
+    #: Permanently slow PEs: pe -> comm slowdown factor.
+    slow_links: Dict[int, float] = field(default_factory=dict)
+    #: Failure-detection timeout charged per detected fault, in seconds.
+    timeout: float = 1e-4
+    #: Maximum retransmit attempts per operation before giving up.
+    retries: int = 5
+    #: Maximum replays of a single Boruvka round before giving up.
+    max_replays: int = 8
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        """Parse a spec string (see the module docstring for the grammar)."""
+        sched = cls()
+        for raw in spec.replace(";", ",").split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            if item.startswith("pe_fail@"):
+                body = item[len("pe_fail@"):]
+                round_s, sep, pe_s = body.partition(":")
+                if not sep:
+                    raise ValueError(
+                        f"fault spec: {item!r} must be pe_fail@ROUND:PE")
+                try:
+                    event = (int(round_s), int(pe_s))
+                except ValueError:
+                    raise ValueError(
+                        f"fault spec: {item!r} must be pe_fail@ROUND:PE "
+                        f"with integer round and PE")
+                if event[0] < 0 or event[1] < 0:
+                    raise ValueError(
+                        f"fault spec: {item!r} round and PE must be >= 0")
+                sched.pe_fail_at.append(event)
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"fault spec: {item!r} is not KEY=VALUE (grammar in "
+                    f"docs/faults.md)")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                sched.seed = int(value)
+            elif key == "pe_fail":
+                sched.pe_fail = _prob(key, value)
+            elif key == "msg_drop":
+                sched.msg_drop = _prob(key, value)
+            elif key == "corrupt":
+                sched.corrupt = _prob(key, value)
+            elif key == "straggle":
+                prob, factor = _factor(key, value, DEFAULT_STRAGGLE_FACTOR)
+                sched.straggle = _prob(key, prob)
+                sched.straggle_factor = factor
+            elif key == "slow_link":
+                pe, factor = _factor(key, value, DEFAULT_SLOW_LINK_FACTOR)
+                sched.slow_links[int(pe)] = factor
+            elif key == "timeout":
+                sched.timeout = float(value)
+                if sched.timeout < 0:
+                    raise ValueError("fault spec: timeout must be >= 0")
+            elif key == "retries":
+                sched.retries = int(value)
+                if sched.retries < 1:
+                    raise ValueError("fault spec: retries must be >= 1")
+            elif key == "max_replays":
+                sched.max_replays = int(value)
+                if sched.max_replays < 1:
+                    raise ValueError("fault spec: max_replays must be >= 1")
+            else:
+                raise ValueError(
+                    f"fault spec: unknown item {key!r} (grammar in "
+                    f"docs/faults.md)")
+        return sched
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultSchedule"]:
+        """Schedule from ``REPRO_FAULTS``, or ``None`` when unset/disabled."""
+        spec = faults_env_spec()
+        return cls.parse(spec) if spec is not None else None
+
+    # ------------------------------------------------------------------
+    @property
+    def injects_anything(self) -> bool:
+        """Whether this schedule can produce at least one fault event."""
+        return bool(
+            self.pe_fail > 0.0
+            or self.pe_fail_at
+            or self.msg_drop > 0.0
+            or self.corrupt > 0.0
+            or self.straggle > 0.0
+            or self.slow_links
+        )
+
+    @property
+    def protects_rounds(self) -> bool:
+        """Whether fail-stop events are possible (checkpointing required)."""
+        return self.pe_fail > 0.0 or bool(self.pe_fail_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        active = {k: v for k, v in (
+            ("pe_fail", self.pe_fail), ("pe_fail_at", self.pe_fail_at),
+            ("msg_drop", self.msg_drop), ("corrupt", self.corrupt),
+            ("straggle", self.straggle), ("slow_links", self.slow_links),
+        ) if v}
+        return f"FaultSchedule(seed={self.seed}, {active})"

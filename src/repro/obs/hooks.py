@@ -116,6 +116,42 @@ def observe_filter_survivors(machine, depth: int, edges_heavy: int,
         mx.series("filter/survivors_at_depth").record(depth, edges_surviving)
 
 
+def observe_fault(machine, kind: str, detail: str, rank: int = -1) -> None:
+    """Record one injected fault event (repro.faults) into tracer/metrics.
+
+    ``kind`` is the fault flavour (``msg_drop``, ``corrupt``, ``straggle``,
+    ``pe_fail``); ``rank`` pins the instant to the affected PE's timeline
+    (-1 = machine-global).  Like every hook here this only *observes*: the
+    injector does all cost charging itself, before or after calling in.
+    """
+    ev, mx = machine.events, machine.metrics
+    if ev is None and mx is None:
+        return
+    # Rank-pinned instants must sit on that PE's own timeline -- the global
+    # max clock could be ahead of the victim's clock and would render as a
+    # non-monotone thread timeline in the exported trace.
+    now = float(machine.clock[rank] if rank >= 0 else machine.clock.max())
+    if ev is not None:
+        ev.instant(f"fault/{kind}: {detail}", rank, now, cat="fault")
+    if mx is not None:
+        mx.counter(f"faults/{kind}/injected").inc()
+
+
+def observe_recovery(machine, round_no: int, failed_pes: list) -> None:
+    """Record one completed checkpoint-restore (round replay imminent)."""
+    ev, mx = machine.events, machine.metrics
+    if ev is None and mx is None:
+        return
+    now = float(machine.clock.max())
+    if ev is not None:
+        ev.instant(f"recover: round {round_no} restored after PE(s) "
+                   f"{failed_pes} failed", -1, now, cat="fault")
+    if mx is not None:
+        mx.counter("faults/recoveries").inc()
+        mx.series("faults/replays_at_round").record(
+            round_no, mx.counter("faults/recoveries").value)
+
+
 def observe_sort(comm, method: str, total_rows: int) -> None:
     """Count one distributed-sort invocation by dispatched method."""
     mx = comm.machine.metrics

@@ -177,6 +177,10 @@ def alltoallv_direct(
     # computes every rank's cost with the exact scalar-loop float semantics.
     cost = comm.machine.cost.alltoall_dense(size, bytes_out, bytes_in,
                                             comm.machine.threads)
+    fi = comm.machine.faults
+    if fi is not None:
+        cost = fi.on_exchange(comm, "alltoallv_direct", recvbufs, row_bytes,
+                              bytes_out, bytes_in, cost)
     comm.machine.bytes_communicated += float(bytes_out.sum())
     _record_trace(comm, counts, row_bytes, op="alltoallv_direct")
     comm._sync_and_charge(cost, op="alltoallv_direct",
@@ -272,6 +276,10 @@ def alltoallv_grid(
     bytes_in1 = phase1_counts.sum(axis=0).astype(np.float64) * row_bytes
     cost1 = comm.machine.cost.alltoall_dense(r, bytes_out1, bytes_in1,
                                              comm.machine.threads)
+    fi = comm.machine.faults
+    if fi is not None:
+        cost1 = fi.on_exchange(comm, "alltoallv_grid/hop1", mid_bufs,
+                               row_bytes, bytes_out1, bytes_in1, cost1)
     comm.machine.bytes_communicated += float(bytes_out1.sum())
     _record_trace(comm, phase1_counts, row_bytes, op="alltoallv_grid/hop1")
     comm._sync_and_charge(cost1, op="alltoallv_grid/hop1",
@@ -308,6 +316,9 @@ def alltoallv_grid(
     bytes_in2 = phase2_counts.sum(axis=0).astype(np.float64) * row_bytes
     cost2 = comm.machine.cost.alltoall_dense(group2, bytes_out2, bytes_in2,
                                              comm.machine.threads)
+    if fi is not None:
+        cost2 = fi.on_exchange(comm, "alltoallv_grid/hop2", out_bufs,
+                               row_bytes, bytes_out2, bytes_in2, cost2)
     comm.machine.bytes_communicated += float(bytes_out2.sum())
     _record_trace(comm, phase2_counts, row_bytes, op="alltoallv_grid/hop2")
     comm._sync_and_charge(cost2, op="alltoallv_grid/hop2",
@@ -400,6 +411,11 @@ def alltoallv_hypercube(
         recv_bytes = sent_bytes[np.arange(size) ^ bit]
         cost = (cm.c_call + cm.alpha
                 + (cm.beta + cm.beta_sw) * (sent_bytes + recv_bytes))
+        fi = comm.machine.faults
+        if fi is not None:
+            cost = fi.on_exchange(comm, f"alltoallv_hypercube/dim{k}",
+                                  new_held, row_bytes, sent_bytes,
+                                  recv_bytes, cost)
         comm.machine.bytes_communicated += float(sent_bytes.sum())
         m = comm.machine
         if (m.trace is not None or m.sanitizer is not None

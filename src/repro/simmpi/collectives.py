@@ -86,6 +86,12 @@ class Comm:
         events and per-operation metrics); ``nbytes`` is its per-rank
         payload size.  Both are observation-only: the synchronisation and
         charging sequence is identical whether or not tracing is attached.
+
+        When a fault injector is attached (repro.faults) it adjusts the
+        per-rank cost here -- dropped messages are retried with backoff,
+        stragglers and slow links multiply their ranks' costs -- before
+        the sanitizer validates the charge, so every injected fault still
+        has to satisfy the cost-accounting invariants.
         """
         m = self.machine
         m.n_collectives += 1
@@ -96,6 +102,9 @@ class Comm:
         if m.metrics is not None:
             m.metrics.counter(f"collective/{op}/count").inc()
             m.metrics.counter(f"collective/{op}/bytes").inc(nbytes)
+        if m.faults is not None:
+            per_rank_cost = m.faults.on_collective(op, self.ranks,
+                                                   per_rank_cost, nbytes)
         if san is not None:
             san.pre_collective(self.ranks, per_rank_cost)
         clocks = m.clock[self.ranks]

@@ -132,6 +132,16 @@ class CostModel:
             + self.beta_sw * volume
         )
 
+    def retry(self, base_cost, timeout: float, attempt: int):
+        """Cost of the ``attempt``-th retransmission of a failed operation.
+
+        Fault recovery (repro.faults) re-pays the full operation plus the
+        failure-detection timeout, doubled per attempt (exponential
+        backoff): attempt 1 waits ``timeout``, attempt 2 ``2 * timeout``,
+        and so on.  ``base_cost`` may be a per-rank array.
+        """
+        return base_cost + timeout * float(2 ** (attempt - 1))
+
     # ------------------------------------------------------------------
     # Local computation charges.
     # ------------------------------------------------------------------

@@ -99,6 +99,15 @@ class Machine:
         ``True``/``False`` to force it on/off.  Tracing never perturbs
         simulated time: clocks, cost charging, RNG streams and sanitizer
         behaviour are bit-for-bit identical with tracing on and off.
+    faults:
+        Attach the fault-injection and recovery subsystem (see
+        repro.faults and docs/faults.md).  ``None`` (the default) defers
+        to the ``REPRO_FAULTS`` environment variable; pass a spec string
+        (e.g. ``"seed=7,pe_fail=0.05"``), a parsed
+        :class:`~repro.faults.FaultSchedule`, or ``False`` to force it
+        off.  With no subsystem attached -- or an attached one whose
+        schedule injects nothing -- simulated times are bit-for-bit
+        identical to a machine without the knob.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class Machine:
         trace: bool = False,
         sanitize: Optional[bool] = None,
         trace_events: Optional[bool] = None,
+        faults=None,
     ):
         if n_procs < 1:
             raise ValueError(f"n_procs must be >= 1, got {n_procs}")
@@ -165,6 +175,28 @@ class Machine:
         else:
             self.events = None
             self.metrics = None
+        if faults is None:
+            from ..faults.schedule import faults_env_spec
+
+            faults = faults_env_spec()
+        if faults is None or faults is False:
+            #: Fault injector (None when the fault subsystem is off).
+            self.faults = None
+        else:
+            from ..faults import FaultInjector, FaultSchedule
+
+            if isinstance(faults, str):
+                faults = FaultSchedule.parse(faults)
+            elif not isinstance(faults, FaultSchedule):
+                raise TypeError(
+                    f"faults= takes a spec string, a FaultSchedule or "
+                    f"False, got {faults!r}")
+            self.faults = FaultInjector(self, faults)
+
+    @property
+    def faulting(self) -> bool:
+        """Whether the fault-injection subsystem is attached."""
+        return self.faults is not None
 
     @property
     def sanitizing(self) -> bool:
@@ -233,6 +265,8 @@ class Machine:
             self.events.reset()
         if self.metrics is not None:
             self.metrics.reset()
+        if self.faults is not None:
+            self.faults.reset()
 
     def pe_rng(self, pe: int) -> np.random.Generator:
         """Deterministic per-PE random generator (stable across calls)."""
@@ -241,6 +275,36 @@ class Machine:
                 np.random.SeedSequence(entropy=self.seed, spawn_key=(pe,))
             )
         return self._rngs[pe]
+
+    def rng_snapshot(self) -> Dict[int, dict]:
+        """Deep-copied states of every per-PE RNG stream handed out so far.
+
+        The round checkpoints of the fault-recovery subsystem capture this
+        so a replayed round draws exactly what the failed attempt drew
+        (pivot selection, sample sort) -- the property that makes a
+        recovered run's MST bit-identical to the fault-free run's.
+        """
+        import copy
+
+        return {pe: copy.deepcopy(gen.bit_generator.state)
+                for pe, gen in self._rngs.items()}
+
+    def rng_restore(self, snapshot: Dict[int, dict]) -> None:
+        """Reset the per-PE RNG streams to a :meth:`rng_snapshot`.
+
+        Streams not present in the snapshot are dropped entirely, so a
+        stream first consumed *after* the snapshot restarts from its
+        seeded origin -- exactly the state at snapshot time.
+        """
+        import copy
+
+        self._rngs.clear()
+        for pe, state in snapshot.items():
+            gen = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(pe,))
+            )
+            gen.bit_generator.state = copy.deepcopy(state)
+            self._rngs[pe] = gen
 
     # ------------------------------------------------------------------
     # Time accounting.

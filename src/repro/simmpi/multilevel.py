@@ -132,6 +132,11 @@ def alltoallv_multilevel(
                                              comm.machine.threads)
             for r in range(size)
         ])
+        fi = comm.machine.faults
+        if fi is not None:
+            cost = fi.on_exchange(comm, f"alltoallv_multilevel/hop{k}",
+                                  new_held, row_bytes, bytes_out, bytes_in,
+                                  cost)
         comm.machine.bytes_communicated += float(bytes_out.sum())
         from .alltoall import _record_trace
 

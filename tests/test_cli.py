@@ -94,3 +94,25 @@ class TestOthers:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestFaults:
+    def test_recovers_and_reports(self, capsys):
+        assert main(["faults", "--procs", "4", "-n", "512", "-m", "2048",
+                     "--schedule",
+                     "seed=3, pe_fail@0:1, msg_drop=0.02, corrupt=0.05",
+                     "--base-case-min", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "OK, matches fault-free run" in out
+        assert "pe_fail" in out and "round_replay" in out
+
+    def test_saved_instance_and_filter_boruvka(self, instance, capsys):
+        assert main(["faults", str(instance), "--algo", "filter-boruvka",
+                     "--procs", "4", "--schedule", "seed=1, corrupt=0.1",
+                     "--base-case-min", "16"]) == 0
+        assert "OK, matches fault-free run" in capsys.readouterr().out
+
+    def test_rejects_malformed_schedule(self):
+        with pytest.raises(ValueError, match="fault spec"):
+            main(["faults", "--procs", "4", "-n", "128", "-m", "512",
+                  "--schedule", "nonsense"])

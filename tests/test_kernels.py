@@ -236,6 +236,121 @@ class TestSortedLookup:
         assert len(found) == 0 and len(idx) == 0
 
 
+class TestEmptySegmentEdgeCases:
+    """Degenerate-shape audit: zero PEs, all-empty PEs, empty interleavings.
+
+    Every kernel must behave exactly like its per-segment reference loop
+    when segments vanish -- the shapes Borůvka reaches in late rounds, where
+    most PEs hold nothing.  Locked in as regressions so batched-path
+    rewrites cannot silently break the p=1 / empty-PE corners.
+    """
+
+    EMPTY_I64 = np.empty(0, np.int64)
+
+    def test_zero_segments(self):
+        off0 = np.array([0], dtype=np.int64)
+        assert segment_ids(off0).size == 0
+        assert packed_lexsort(()).size == 0
+        u, uo, inv = segmented_unique(self.EMPTY_I64, self.EMPTY_I64, 0)
+        assert u.size == 0 and np.array_equal(uo, [0]) and inv.size == 0
+        assert segmented_searchsorted(self.EMPTY_I64, off0, self.EMPTY_I64,
+                                      self.EMPTY_I64).size == 0
+        found, idx = segmented_lookup(self.EMPTY_I64, off0, self.EMPTY_I64,
+                                      self.EMPTY_I64)
+        assert found.size == 0 and idx.size == 0
+        assert route_counts(self.EMPTY_I64, self.EMPTY_I64, 0, 4).shape \
+            == (0, 4)
+        assert first_in_group(self.EMPTY_I64).size == 0
+
+    def test_all_segments_empty(self):
+        p = 4
+        off = np.zeros(p + 1, dtype=np.int64)
+        u, uo, inv = segmented_unique(self.EMPTY_I64, self.EMPTY_I64, p)
+        assert u.size == 0 and np.array_equal(uo, np.zeros(p + 1))
+        # Queries against an entirely empty haystack insert at position 0
+        # of their (empty) segment and never report a hit.
+        needles, nseg = np.array([5, 7]), np.array([1, 3])
+        assert np.array_equal(
+            segmented_searchsorted(self.EMPTY_I64, off, needles, nseg),
+            [0, 0])
+        found, idx = segmented_lookup(self.EMPTY_I64, off, needles, nseg)
+        assert not found.any()
+        assert np.array_equal(idx, [0, 0])  # clamped, safe to index with
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_searchsorted_interleaved_empty_segments(self, rng, side):
+        # Many trials with ~half the segments empty, exercising both the
+        # shifted-key fast path (narrow ints) and the merged-lexsort
+        # fallback (wide ints, floats).
+        for dtype, lo, hi in ((np.int64, -3, 10),
+                              (np.int64, -(1 << 61), 1 << 61),
+                              (np.float64, 0, 1)):
+            for _ in range(30):
+                p = int(rng.integers(1, 7))
+                lens = rng.integers(0, 5, p)
+                lens[rng.random(p) < 0.5] = 0
+                off = np.zeros(p + 1, np.int64)
+                np.cumsum(lens, out=off[1:])
+                if dtype is np.float64:
+                    flat = rng.random(off[-1])
+                else:
+                    flat = rng.integers(lo, hi, off[-1])
+                hay = (np.concatenate(
+                    [np.sort(flat[off[i]:off[i + 1]]) for i in range(p)])
+                    if off[-1] else flat)
+                nq = int(rng.integers(0, 6))
+                needles = (rng.random(nq) if dtype is np.float64
+                           else rng.integers(lo - 2, hi + 2, nq))
+                nseg = rng.integers(0, p, nq)
+                got = segmented_searchsorted(hay, off, needles, nseg,
+                                             side=side)
+                ref = np.array(
+                    [np.searchsorted(hay[off[s]:off[s + 1]], v, side=side)
+                     for v, s in zip(needles, nseg)], np.int64)
+                assert np.array_equal(got, ref.reshape(got.shape))
+
+    def test_unique_and_lexsort_interleaved_empty_segments(self, rng):
+        for _ in range(30):
+            p = int(rng.integers(1, 7))
+            lens = rng.integers(0, 60, p)
+            lens[rng.random(p) < 0.4] = 0
+            off = np.zeros(p + 1, np.int64)
+            np.cumsum(lens, out=off[1:])
+            vals = rng.integers(-1000, 1000, off[-1])
+            keys2 = rng.integers(0, 4, off[-1])
+            segs = segment_ids(off)
+            u, uo, inv = segmented_unique(vals, segs, p)
+            perm = segmented_lexsort((vals, keys2), segs)
+            for i in range(p):
+                sl = slice(off[i], off[i + 1])
+                ru, rinv = np.unique(vals[sl], return_inverse=True)
+                assert np.array_equal(u[uo[i]:uo[i + 1]], ru)
+                assert np.array_equal(inv[sl], rinv)
+                # The permutation maps each segment's range onto itself...
+                assert np.array_equal(np.sort(perm[sl]),
+                                      np.arange(off[i], off[i + 1]))
+                # ...and restricted to the segment it IS its stable lexsort.
+                assert np.array_equal(perm[sl] - off[i],
+                                      np.lexsort((vals[sl], keys2[sl])))
+
+    def test_uint64_beyond_int64_takes_exact_fallback(self):
+        # Values past 2^62 must skip the shifted-key packing (it would
+        # overflow int64) yet stay exact -- same-dtype concatenation keeps
+        # uint64, never a lossy float64 promotion.
+        hay = np.array([2 ** 63, 2 ** 63 + 1, 2 ** 63 + 2], dtype=np.uint64)
+        off = np.array([0, 3])
+        needles = np.array([2 ** 63 + 1], dtype=np.uint64)
+        for side, expect in (("left", 1), ("right", 2)):
+            assert segmented_searchsorted(hay, off, needles,
+                                          np.array([0]), side=side) == expect
+
+    def test_ragged_from_empty_list(self):
+        r = RaggedArrays.from_arrays([])
+        assert r.n_segments == 0 and len(r) == 0
+        assert r.to_arrays() == []
+        assert r.segment_ids().size == 0
+
+
 # ---------------------------------------------------------------------------
 # Differential: the two engines must be simulated-behavior identical.
 # ---------------------------------------------------------------------------

@@ -17,9 +17,10 @@ import os
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.competitors import awerbuch_shiloach_msf, mnd_mst
+from repro.faults import UnrecoverableFault
 from repro.core import (
     BoruvkaConfig,
     FilterConfig,
@@ -95,6 +96,65 @@ class TestDifferential:
     def test_mnd_matches_kruskal(self, inst):
         graph, p, threads = inst
         check_against_kruskal(mnd_mst, graph, p, threads)
+
+
+class TestFaultIdentity:
+    """Fault-subsystem identities over random instances (docs/faults.md).
+
+    An *empty* schedule (``REPRO_FAULTS`` set but injecting nothing) must be
+    arithmetically invisible -- bit-for-bit identical simulated seconds, not
+    just the same weight -- and any *surviving* schedule must recover to the
+    bit-identical MSF weight while charging strictly more time than the
+    fault-free run.
+    """
+
+    @given(inst=instances(max_n=100), cfg=boruvka_configs(),
+           fseed=st.integers(0, 2 ** 16),
+           algo=st.sampled_from([distributed_boruvka,
+                                 distributed_filter_boruvka,
+                                 awerbuch_shiloach_msf, mnd_mst]))
+    def test_empty_schedule_is_bitwise_identity(self, inst, cfg, fseed,
+                                                algo):
+        graph, p, threads = inst
+        takes_cfg = algo is distributed_boruvka
+
+        def run(faults):
+            m = Machine(p, threads=threads, sanitize=True, faults=faults)
+            dg = graph.distribute(m)
+            return algo(dg, cfg) if takes_cfg else algo(dg)
+
+        r0 = run(False)
+        r1 = run(f"seed={fseed}")
+        assert r1.total_weight == r0.total_weight
+        assert r1.elapsed == r0.elapsed, (
+            f"an empty fault schedule changed {algo.__name__}'s simulated "
+            f"time ({r1.elapsed} != {r0.elapsed})")
+        assert r1.phase_times == r0.phase_times
+
+    @given(inst=instances(max_n=100), fseed=st.integers(0, 2 ** 16),
+           rate=st.sampled_from([0.01, 0.05, 0.15]))
+    def test_surviving_schedule_recovers_bit_identical_weight(
+            self, inst, fseed, rate):
+        graph, p, threads = inst
+        cfg = BoruvkaConfig(base_case_min=8)
+        base = Machine(p, threads=threads, sanitize=True, faults=False)
+        r0 = distributed_boruvka(graph.distribute(base), cfg)
+        # Generous retry/replay budgets: this property is about *surviving*
+        # schedules, so draws that exhaust recovery anyway are rejected.
+        spec = (f"seed={fseed}, pe_fail={rate}, msg_drop={rate / 4}, "
+                f"corrupt={rate}, straggle={rate}, retries=10, "
+                f"max_replays=64")
+        faulted = Machine(p, threads=threads, sanitize=True, faults=spec)
+        try:
+            r1 = distributed_boruvka(graph.distribute(faulted), cfg)
+        except UnrecoverableFault:
+            assume(False)
+        assert r1.total_weight == r0.total_weight, (
+            f"recovery changed the MSF weight under {spec!r}")
+        if faulted.faults.counts:
+            assert r1.elapsed > r0.elapsed, (
+                f"{faulted.faults.summary()} injected but recovered for "
+                "free (no simulated-time charge)")
 
 
 @pytest.mark.slow
