@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis import env_max_cores, env_scale
+from repro.engines import default_engine_name
 from repro.graphgen import gen_family, gen_realworld, load_npz, save_npz
 from repro.kernels import kernel_engine
 
@@ -126,7 +127,8 @@ class BenchRecorder:
     :meth:`write`, persists ``benchmarks/results/BENCH_<name>.json`` with the
     total wall-clock of the measured block, the simulated series, and the
     environment knobs that shaped the run.  Wall-clock depends on the kernel
-    engine (see docs/kernels.md); the simulated series must not.
+    layout and execution engine (docs/kernels.md, docs/engines.md); the
+    simulated series must not.
     """
 
     def __init__(self, name: str):
@@ -154,6 +156,7 @@ class BenchRecorder:
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "kernels": kernel_engine(),
+            "engine": default_engine_name(),
             "max_cores": MAX_CORES,
             "scale": env_scale(),
             "simulated": self.simulated,

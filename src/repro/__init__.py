@@ -33,6 +33,10 @@ Subpackages
     Awerbuch-Shiloach and MND-MST) on the same substrate.
 ``repro.analysis``
     Experiment harness: sweeps, result records, ASCII tables.
+``repro.engines``
+    Pluggable execution engines (in-process / batched / multiprocess
+    shared-memory) selecting how the simulated PEs execute on the host;
+    see docs/engines.md.
 """
 
 __version__ = "1.0.0"

@@ -58,6 +58,10 @@ def _add_mst(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--procs", type=int, default=8, help="MPI processes")
     p.add_argument("--threads", type=int, default=1,
                    help="OpenMP threads per process")
+    p.add_argument("--engine", default=None,
+                   choices=["inprocess", "batched", "multiprocess"],
+                   help="execution engine (default: REPRO_ENGINE, "
+                        "see docs/engines.md)")
     p.add_argument("--alltoall", default="auto",
                    choices=["auto", "direct", "grid", "grid3", "hypercube"])
     p.add_argument("--no-preprocessing", action="store_true")
@@ -117,6 +121,10 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--base-case-min", type=int, default=64,
                    help="base-case vertex threshold (small keeps more "
                         "distributed rounds visible in the profile)")
+    p.add_argument("--engine", default=None,
+                   choices=["inprocess", "batched", "multiprocess"],
+                   help="execution engine (default: REPRO_ENGINE, "
+                        "see docs/engines.md)")
     p.add_argument("--trace-out", default="profile.trace.json",
                    help="Chrome/Perfetto trace JSON output path")
     p.add_argument("--metrics-out", default="profile.metrics.json",
@@ -219,7 +227,8 @@ def _cmd_mst(args) -> int:
     from .simmpi import Machine
 
     g = load_npz(args.graph)
-    machine = Machine(args.procs, threads=args.threads)
+    machine = Machine(args.procs, threads=args.threads,
+                      engine=args.engine)
     b = BoruvkaConfig(alltoall=args.alltoall,
                       local_preprocessing=not args.no_preprocessing)
     config = (FilterConfig(boruvka=b)
@@ -231,6 +240,7 @@ def _cmd_mst(args) -> int:
           f"m={g.n_undirected_edges})")
     print(f"machine         : {args.procs} procs x {args.threads} threads "
           f"= {machine.cores} cores")
+    print(f"engine          : {machine.engine.describe()}")
     print(f"algorithm       : {result.algorithm}")
     print(f"MSF weight      : {result.total_weight}")
     print(f"MSF edges       : {len(result.msf_edges())}")
@@ -313,7 +323,8 @@ def _cmd_profile(args) -> int:
         g = load_npz(args.graph)
     else:
         g = gen_family(args.family, args.n, args.m, seed=args.seed)
-    machine = Machine(args.procs, threads=args.threads, trace_events=True)
+    machine = Machine(args.procs, threads=args.threads, trace_events=True,
+                      engine=args.engine)
     b = BoruvkaConfig(alltoall=args.alltoall,
                       base_case_min=args.base_case_min)
     config = (FilterConfig(boruvka=b)

@@ -33,7 +33,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
-from ..kernels import RaggedArrays, batched_enabled, segmented_unique
+from ..kernels import RaggedArrays, batched_for, segmented_unique
 from ..obs.hooks import observe_round_end, observe_round_start
 from ..kernels.segmented import packed_lexsort
 from ..simmpi.alltoall import route_rows, unsort
@@ -272,7 +272,7 @@ def _resolve(comm: Comm, f_blocks: List[np.ndarray], n: int,
              ) -> List[np.ndarray]:
     """Look up f[x] for arbitrary per-PE label arrays (deduplicated)."""
     p = comm.size
-    if batched_enabled():
+    if batched_for(comm.machine):
         r = RaggedArrays.from_arrays(
             [np.asarray(x, dtype=np.int64) for x in labels_per_pe])
         uniq, uoff, inv = segmented_unique(r.flat, r.segment_ids(), p)

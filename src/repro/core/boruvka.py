@@ -143,6 +143,7 @@ def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
         # Both counts were needed for control flow anyway; the hooks reuse
         # them so tracing never issues extra collectives.
         observe_round_start(machine, run.rounds, n_vertices, n_edges)
+        machine.engine.note_round(run.rounds)
         with machine.phase("min_edges"):
             chosen = min_edges(graph)
         with machine.phase("contraction"):

@@ -32,7 +32,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.search import sorted_lookup
-from ..kernels import batched_enabled, segmented_lookup, segmented_unique
+from ..kernels import batched_for, segmented_lookup, segmented_unique
 from ..simmpi.alltoall import route_rows, unsort
 from .minedges import ChosenEdges
 from .state import MSTRun
@@ -49,7 +49,7 @@ def contract_components(
     vertex, aligned with ``chosen[i].vids``.  Records MST edges and reports
     label maps to the run's label sink.
     """
-    if batched_enabled():
+    if batched_for(graph.machine):
         return _contract_batched(graph, chosen, run)
     return _contract_loop(graph, chosen, run)
 

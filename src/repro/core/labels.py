@@ -30,7 +30,7 @@ from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
 from ..dgraph.search import sorted_lookup
 from ..kernels import (
-    batched_enabled,
+    batched_for,
     segmented_lookup,
     segmented_searchsorted,
 )
@@ -61,7 +61,7 @@ def exchange_labels(
     run: MSTRun,
 ) -> List[GhostTable]:
     """Push new local-vertex labels to every PE that has them as ghosts."""
-    if batched_enabled():
+    if batched_for(graph.machine):
         return _exchange_labels_batched(graph, vids_per_pe, labels_per_pe,
                                         run)
     return _exchange_labels_loop(graph, vids_per_pe, labels_per_pe, run)
@@ -218,7 +218,7 @@ def relabel(
     run: MSTRun,
 ) -> List[Edges]:
     """RELABEL: rewrite endpoints to component roots, drop self loops."""
-    if batched_enabled():
+    if batched_for(graph.machine):
         return _relabel_batched(graph, vids_per_pe, labels_per_pe,
                                 ghost_tables, run)
     return _relabel_loop(graph, vids_per_pe, labels_per_pe, ghost_tables,

@@ -23,7 +23,7 @@ from ..kernels.segmented import packed_lexsort
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.search import sorted_lookup
-from ..kernels import batched_enabled, first_in_group
+from ..kernels import batched_for, first_in_group
 
 
 @dataclass
@@ -53,9 +53,34 @@ def _empty_chosen() -> ChosenEdges:
 
 def min_edges(graph: DistGraph) -> List[ChosenEdges]:
     """Run MINEDGES on every PE; one linear pass per PE, no communication."""
-    if batched_enabled():
+    eng = getattr(graph.machine, "engine", None)
+    if eng is not None and eng.fanout:
+        return _min_edges_fanout(graph, eng)
+    if batched_for(graph.machine):
         return _min_edges_batched(graph)
     return _min_edges_loop(graph)
+
+
+def min_edges_one_pe(u: np.ndarray, v: np.ndarray, w: np.ndarray,
+                     eid: np.ndarray, starts: np.ndarray):
+    """Pure per-PE MINEDGES kernel: pick one edge per vertex group.
+
+    ``starts`` delimits the contiguous per-source groups of the (sorted)
+    part, exactly as returned by ``DistGraph.vertex_groups``.  Returns
+    ``(to, weight, edge_id)`` aligned with the groups.  Pure function of its
+    arguments -- no machine, RNG or cost-model access -- so fan-out engines
+    can run it in worker processes (:mod:`repro.engines.tasks`).
+    """
+    # Group index of every edge (groups are contiguous by sortedness).
+    group = np.repeat(np.arange(len(starts) - 1), np.diff(starts))
+    cu = np.minimum(u, v)
+    cv = np.maximum(u, v)
+    order = packed_lexsort((cv, cu, w, group))
+    g_sorted = group[order]
+    first = np.ones(len(g_sorted), dtype=bool)
+    first[1:] = g_sorted[1:] != g_sorted[:-1]
+    pick = order[first]  # one edge index per group, in group order
+    return v[pick], w[pick], eid[pick]
 
 
 def _min_edges_loop(graph: DistGraph) -> List[ChosenEdges]:
@@ -68,25 +93,65 @@ def _min_edges_loop(graph: DistGraph) -> List[ChosenEdges]:
         if len(vids) == 0:
             out.append(_empty_chosen())
             continue
-        # Group index of every edge (groups are contiguous by sortedness).
-        group = np.repeat(np.arange(len(vids)), np.diff(starts))
-        cu = np.minimum(part.u, part.v)
-        cv = np.maximum(part.u, part.v)
-        order = packed_lexsort((cv, cu, part.w, group))
-        g_sorted = group[order]
-        first = np.ones(len(g_sorted), dtype=bool)
-        first[1:] = g_sorted[1:] != g_sorted[:-1]
-        pick = order[first]  # one edge index per group, in group order
+        to, weight, edge_id = min_edges_one_pe(
+            np.asarray(part.u), np.asarray(part.v), np.asarray(part.w),
+            np.asarray(part.id), starts)
         shared = np.isin(vids, shared_set, assume_unique=True)
         out.append(ChosenEdges(
             vids=vids,
             shared=shared,
-            to=part.v[pick],
-            weight=part.w[pick],
-            edge_id=part.id[pick],
+            to=to,
+            weight=weight,
+            edge_id=edge_id,
         ))
         graph.machine.charge_scan(np.array([len(part)]),
                                   ranks=np.array([i]))
+    return out
+
+
+def _min_edges_fanout(graph: DistGraph, eng) -> List[ChosenEdges]:
+    """Fan-out engine: ship every PE's pure selection to a worker.
+
+    Only the pure kernel (:func:`min_edges_one_pe`) leaves the driver; the
+    shared-vertex lookup and the cost charging stay here, in ascending rank
+    order, so simulated seconds are bit-identical to the other engines.
+    """
+    shared_set = graph.shared_vertex_set()
+    p = graph.machine.n_procs
+    lengths = np.array([len(part) for part in graph.parts], dtype=np.int64)
+    payloads: List = []
+    vids_per_pe: List = []
+    for i in range(p):
+        part = graph.parts[i]
+        vids, starts = graph.vertex_groups(i)
+        vids_per_pe.append(vids)
+        if len(vids) == 0:
+            payloads.append(None)
+            continue
+        payloads.append({
+            "u": np.asarray(part.u), "v": np.asarray(part.v),
+            "w": np.asarray(part.w), "eid": np.asarray(part.id),
+            "starts": np.asarray(starts),
+        })
+    results = eng.pe_map("minedges", payloads)
+    out: List[ChosenEdges] = []
+    for i in range(p):
+        res = results[i]
+        if res is None:
+            out.append(_empty_chosen())
+            continue
+        vids = vids_per_pe[i]
+        shared = np.isin(vids, shared_set, assume_unique=True)
+        out.append(ChosenEdges(
+            vids=vids,
+            shared=shared,
+            to=res["to"],
+            weight=res["weight"],
+            edge_id=res["edge_id"],
+        ))
+    nonempty = np.flatnonzero(lengths)
+    if len(nonempty):
+        graph.machine.charge_scan(lengths[nonempty], ranks=nonempty)
     return out
 
 

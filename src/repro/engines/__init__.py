@@ -1,0 +1,94 @@
+"""Pluggable execution engines for the simulated machine.
+
+``Machine(engine=...)`` / the ``REPRO_ENGINE`` environment variable select
+*how* the simulator's per-PE work executes on the host -- in-process
+reference loops, flat batched kernels, or a shared-memory multiprocess
+pool -- without changing a single simulated bit: clocks, phase times, RNG
+draws, traces and MSF weights are engine-invariant (docs/engines.md, and
+tests/test_engines.py as the conformance harness).
+
+Selection precedence:
+
+1. an explicit ``Machine(engine=...)`` argument (name or instance);
+2. ``REPRO_ENGINE`` (``inprocess`` / ``batched`` / ``multiprocess``);
+3. the legacy ``REPRO_KERNELS`` knob (``loop`` maps to the in-process
+   engine, ``batched`` -- the default -- to the batched engine).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .base import (
+    BatchedEngine,
+    EngineError,
+    ExecutionEngine,
+    InProcessEngine,
+    WorkerFailure,
+)
+from .multiprocess import MultiprocessEngine
+from .tasks import engine_task, run_task, task_names
+
+#: Engine names accepted by ``REPRO_ENGINE`` and ``Machine(engine=...)``.
+ENGINE_NAMES = ("inprocess", "batched", "multiprocess")
+
+_ENGINE_CLASSES = {
+    "inprocess": InProcessEngine,
+    "batched": BatchedEngine,
+    "multiprocess": MultiprocessEngine,
+}
+
+
+def engine_env_name() -> Optional[str]:
+    """The validated ``REPRO_ENGINE`` value, or ``None`` when unset."""
+    value = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if not value:
+        return None
+    if value not in ENGINE_NAMES:
+        raise ValueError(
+            f"REPRO_ENGINE must be one of {ENGINE_NAMES}, got {value!r}")
+    return value
+
+
+def default_engine_name() -> str:
+    """Engine selected by the environment (docstring precedence rules)."""
+    name = engine_env_name()
+    if name is not None:
+        return name
+    from ..kernels.engine import kernel_engine
+
+    return "inprocess" if kernel_engine() == "loop" else "batched"
+
+
+def make_engine(spec: Union[None, str, ExecutionEngine] = None
+                ) -> ExecutionEngine:
+    """Resolve an engine spec (``None`` / name / instance) to an engine."""
+    if isinstance(spec, ExecutionEngine):
+        return spec
+    if spec is None:
+        name = default_engine_name()
+    else:
+        name = str(spec).strip().lower()
+        if name not in ENGINE_NAMES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_NAMES} (or an "
+                f"ExecutionEngine instance), got {spec!r}")
+    return _ENGINE_CLASSES[name]()
+
+
+__all__ = [
+    "ENGINE_NAMES",
+    "BatchedEngine",
+    "EngineError",
+    "ExecutionEngine",
+    "InProcessEngine",
+    "MultiprocessEngine",
+    "WorkerFailure",
+    "default_engine_name",
+    "engine_env_name",
+    "engine_task",
+    "make_engine",
+    "run_task",
+    "task_names",
+]

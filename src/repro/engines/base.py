@@ -1,0 +1,184 @@
+"""The execution-engine interface (:class:`ExecutionEngine`).
+
+An execution engine is the *strategy* that turns the per-PE work of the
+simulated machine into host computation.  It is strictly orthogonal to the
+semantic subsystems of :class:`~repro.simmpi.machine.Machine` -- the cost
+model, sanitizer, tracer and fault injector all observe the same simulated
+run regardless of which engine executes it.  Three engines ship with the
+package (see docs/engines.md):
+
+``inprocess``
+    The reference strategy: every hot path runs its per-PE numpy loop in
+    the driving process (the original ``REPRO_KERNELS=loop`` behaviour).
+
+``batched``
+    All PEs' data packed flat and processed by the segmented kernels of
+    :mod:`repro.kernels` in single numpy passes (the original
+    ``REPRO_KERNELS=batched`` behaviour, and the default).
+
+``multiprocess``
+    Batched layout plus genuine host parallelism: per-PE independent tasks
+    fan out over a pool of ``multiprocessing`` workers communicating
+    through ``multiprocessing.shared_memory`` numpy buffers (see
+    :mod:`repro.engines.multiprocess`).
+
+Hard invariant
+--------------
+Engines change only the *wall-clock* of running the simulator.  Simulated
+seconds, per-PE clocks, phase breakdowns, RNG draws, communication traces
+and MSF weights are bit-for-bit identical across engines.  The rules that
+make this hold:
+
+* workers only ever execute **pure** per-PE functions of explicit inputs;
+* all cost charging, RNG consumption and result reduction happen in the
+  driving process, in fixed (ascending-rank) order;
+* per-PE results are collected into rank order before any aggregation.
+
+``tests/test_engines.py`` is the conformance harness that enforces the
+invariant over the full (engine x algorithm x graph family) matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .tasks import run_task
+
+
+class EngineError(RuntimeError):
+    """Base class for execution-engine failures."""
+
+
+class WorkerFailure(EngineError):
+    """A worker failed (raised, crashed or hung) while executing PE work.
+
+    Carries the failing PE's rank and the simulated round the machine was
+    in, so multiprocess failures surface as one actionable error instead
+    of a hang or an anonymous pool traceback.
+    """
+
+    def __init__(self, pe: int, round_no: int, task: str, detail: str):
+        self.pe = int(pe)
+        self.round_no = int(round_no)
+        self.task = task
+        round_part = (f"round {round_no}" if round_no >= 0
+                      else "outside the round loop")
+        super().__init__(
+            f"engine worker failed on PE {pe} ({round_part}, "
+            f"task {task!r}): {detail}")
+
+
+class ExecutionEngine:
+    """Base execution strategy: in-line, rank-ordered per-PE execution.
+
+    Subclasses override the class attributes (and :meth:`pe_map` for real
+    fan-out).  ``uses_batched_kernels`` selects between the per-PE
+    reference loops and the flat segmented kernels at every dispatch site
+    (see :func:`repro.kernels.engine.batched_for`); ``fanout`` marks
+    engines whose :meth:`pe_map` may leave the driving process, which is
+    what the fan-out-aware paths in :mod:`repro.core` key on.
+    """
+
+    #: Engine name as accepted by ``REPRO_ENGINE`` / ``Machine(engine=...)``.
+    name: str = "abstract"
+    #: Whether dispatch sites should use the batched segmented kernels.
+    uses_batched_kernels: bool = True
+    #: Whether :meth:`pe_map` may execute tasks outside the driver process.
+    fanout: bool = False
+
+    def __init__(self) -> None:
+        self._machine = None
+        self._round = -1
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def bind(self, machine) -> "ExecutionEngine":
+        """Attach to the machine this engine executes for; returns self."""
+        self._machine = machine
+        return self
+
+    @property
+    def machine(self):
+        """The bound machine (or ``None`` before :meth:`bind`)."""
+        return self._machine
+
+    def note_round(self, round_no: int) -> None:
+        """Record the driver's current round for failure attribution.
+
+        Purely diagnostic: never touches clocks, RNGs or cost accounting,
+        so calling it cannot perturb the simulation.
+        """
+        self._round = int(round_no)
+
+    def reset(self) -> None:
+        """Drop engine state for a machine reset (pools respawn lazily)."""
+        self._round = -1
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, shared memory)."""
+
+    def __enter__(self) -> "ExecutionEngine":
+        """Context-manager entry (engines close on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def pe_map(self, task: str, payloads: Sequence[Optional[dict]]
+               ) -> List[Optional[dict]]:
+        """Run registered ``task`` over per-PE payloads, results rank-ordered.
+
+        ``payloads[i]`` is a dict of numpy arrays / scalars for PE ``i`` or
+        ``None`` to skip that PE (its result is ``None``).  The base
+        implementation executes in-line in ascending rank order -- the
+        reference semantics every fan-out implementation must reproduce
+        exactly.
+        """
+        out: List[Optional[dict]] = []
+        for rank, payload in enumerate(payloads):
+            if payload is None:
+                out.append(None)
+                continue
+            try:
+                out.append(run_task(task, payload))
+            except EngineError:
+                raise
+            except Exception as exc:  # surface rank context uniformly
+                raise WorkerFailure(rank, self._round, task,
+                                    f"{type(exc).__name__}: {exc}") from exc
+        return out
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human description (CLI / docs)."""
+        return f"{self.name} engine"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class InProcessEngine(ExecutionEngine):
+    """Reference engine: per-PE numpy loops in the driving process."""
+
+    name = "inprocess"
+    uses_batched_kernels = False
+
+    def describe(self) -> str:
+        """One-line human description (CLI / docs)."""
+        return "inprocess engine (per-PE reference loops, single process)"
+
+
+class BatchedEngine(ExecutionEngine):
+    """Batched engine: flat segmented kernels over all PEs at once."""
+
+    name = "batched"
+    uses_batched_kernels = True
+
+    def describe(self) -> str:
+        """One-line human description (CLI / docs)."""
+        return "batched engine (segmented kernels, single process)"

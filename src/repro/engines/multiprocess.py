@@ -1,0 +1,273 @@
+"""The multiprocess execution engine (real host parallelism).
+
+Fans per-PE tasks out over a persistent pool of ``multiprocessing`` worker
+processes.  Payloads travel through ``multiprocessing.shared_memory`` numpy
+buffers (:mod:`repro.engines.shm`); results come back through the pool's
+result pipe (they are fresh, typically much smaller arrays).  Everything
+that defines the simulation -- cost charging, RNG streams, reductions --
+stays in the driving process in ascending-rank order, which is what makes
+the engine bit-identical to the in-process reference (docs/engines.md).
+
+Failure semantics (the part a naive pool gets wrong):
+
+* a task that *raises* in a worker comes back as a structured error and is
+  re-raised as :class:`~repro.engines.base.WorkerFailure` carrying the
+  failing PE's rank and the current round;
+* a worker that *dies* (SIGKILL, segfault) breaks the pool, which
+  surfaces as ``WorkerFailure`` too -- never a hang;
+* every result wait is bounded by ``REPRO_MP_TIMEOUT`` seconds as a last
+  line of defence against driver deadlock;
+* after any failure the pool is torn down; the next use (or
+  ``Machine.reset()``) respawns it with fresh workers.
+
+Knobs (environment, overridable per instance):
+
+``REPRO_MP_WORKERS``    pool size (default: host CPU count)
+``REPRO_MP_START``      start method, ``fork``/``spawn``/``forkserver``
+                        (default: ``fork`` where available)
+``REPRO_MP_MIN_BYTES``  minimum total payload bytes before a call fans
+                        out; below it tasks run in-line (default 65536)
+``REPRO_MP_TIMEOUT``    per-result timeout in seconds (default 120)
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import traceback
+import weakref
+from multiprocessing import get_context, get_all_start_methods, shared_memory
+from typing import List, Optional, Sequence
+
+from .base import ExecutionEngine, WorkerFailure
+from .shm import pack_payload, payload_nbytes, unpack_payload
+from .tasks import run_task
+
+
+def _env_int(name: str, default: int) -> int:
+    """Integer environment knob with a default."""
+    value = os.environ.get(name, "").strip()
+    return int(value) if value else default
+
+
+def _env_float(name: str, default: float) -> float:
+    """Float environment knob with a default."""
+    value = os.environ.get(name, "").strip()
+    return float(value) if value else default
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap), else ``spawn``."""
+    preferred = os.environ.get("REPRO_MP_START", "").strip().lower()
+    if preferred:
+        return preferred
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
+def _own_arrays(result):
+    """Copy result arrays that do not own their data.
+
+    A task may return an array aliasing its shared-memory input (e.g. an
+    echoed payload field); the copy both detaches it from the segment --
+    so the worker can unmap before the driver unlinks -- and keeps the
+    result valid after the segment is gone.
+    """
+    import numpy as np
+
+    if isinstance(result, dict):
+        return {k: (v.copy()
+                    if isinstance(v, np.ndarray) and not v.flags.owndata
+                    else v)
+                for k, v in result.items()}
+    return result
+
+
+def _worker_run(task: str, shm_name: Optional[str], meta, scalars: dict,
+                rank: int):
+    """Pool-side task execution: attach, compute, detach, report.
+
+    Returns ``("ok", result)`` or ``("err", detail)`` -- exceptions never
+    propagate raw through the pool, so the driver can attribute them to
+    the PE rank and round with full context.
+    """
+    try:
+        if shm_name is None:
+            return ("ok", run_task(task, dict(scalars)))
+        seg = shared_memory.SharedMemory(name=shm_name)
+        payload = None
+        try:
+            payload = unpack_payload(seg.buf, meta, scalars)
+            return ("ok", _own_arrays(run_task(task, payload)))
+        finally:
+            del payload  # release buffer views before closing the map
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - error-path only
+                # An in-flight exception's traceback still references a
+                # payload view, so the mapping cannot close here.  The
+                # driver unlinks the segment regardless; the stale
+                # mapping dies with this worker (the driver tears the
+                # pool down after any task failure).
+                pass
+    except Exception as exc:
+        return ("err", f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+
+
+class MultiprocessEngine(ExecutionEngine):
+    """Shared-memory multiprocess engine (``REPRO_ENGINE=multiprocess``).
+
+    Uses the batched segmented kernels for everything that is not worth
+    fanning out, and ships per-PE independent tasks to worker processes
+    when a call's total payload exceeds ``min_offload_bytes``.  Pass
+    ``min_offload_bytes=0`` to force every eligible call through the
+    workers (the conformance tests do) or ``workers=0`` to disable
+    fan-out entirely while keeping the engine's dispatch behaviour.
+    """
+
+    name = "multiprocess"
+    uses_batched_kernels = True
+    fanout = True
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 min_offload_bytes: Optional[int] = None,
+                 timeout: Optional[float] = None):
+        super().__init__()
+        self.workers = (_env_int("REPRO_MP_WORKERS", os.cpu_count() or 1)
+                        if workers is None else int(workers))
+        self.start_method = (start_method or _default_start_method())
+        self.min_offload_bytes = (
+            _env_int("REPRO_MP_MIN_BYTES", 65536)
+            if min_offload_bytes is None else int(min_offload_bytes))
+        self.timeout = (_env_float("REPRO_MP_TIMEOUT", 120.0)
+                        if timeout is None else float(timeout))
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._finalizer = None
+        #: Pool generation counter (diagnostics; bumps on every respawn).
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle.
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            ctx = get_context(self.start_method)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=max(self.workers, 1), mp_context=ctx)
+            self.generation += 1
+            # Guarantee no orphaned workers even if close() is never
+            # called (gc'd machines, interpreter exit).
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (spawning the pool if needed)."""
+        pool = self._ensure_pool()
+        # Touch the pool so the workers actually exist.
+        if not pool._processes:
+            pool.submit(int, 0).result(timeout=self.timeout)
+        return [p.pid for p in pool._processes.values()]
+
+    def _teardown(self, *, kill: bool = True) -> None:
+        pool, self._pool = self._pool, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if pool is not None:
+            _shutdown_pool(pool, kill=kill)
+
+    def reset(self) -> None:
+        """Tear the worker pool down; the next use respawns fresh workers.
+
+        Called by :meth:`Machine.reset` so a reset machine never reuses
+        workers that may hold poisoned module state from a failed run.
+        """
+        super().reset()
+        self._teardown()
+
+    def close(self) -> None:
+        """Shut the pool down for good (also runs via a gc finalizer)."""
+        self._teardown()
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def pe_map(self, task: str, payloads: Sequence[Optional[dict]]
+               ) -> List[Optional[dict]]:
+        """Fan per-PE payloads out over the worker pool, rank-ordered.
+
+        Falls back to in-line execution (identical results by task purity)
+        when fan-out cannot pay: a disabled pool (``workers=0``) or a
+        total payload below ``min_offload_bytes``.
+        """
+        total = sum(payload_nbytes(p) for p in payloads if p is not None)
+        if self.workers < 1 or total < self.min_offload_bytes:
+            return super().pe_map(task, payloads)
+        pool = self._ensure_pool()
+        segments: List[Optional[shared_memory.SharedMemory]] = []
+        futures = []
+        try:
+            for rank, payload in enumerate(payloads):
+                if payload is None:
+                    segments.append(None)
+                    futures.append(None)
+                    continue
+                seg, meta, scalars = pack_payload(payload)
+                segments.append(seg)
+                futures.append(pool.submit(_worker_run, task, seg.name,
+                                           meta, scalars, rank))
+            out: List[Optional[dict]] = []
+            for rank, fut in enumerate(futures):
+                if fut is None:
+                    out.append(None)
+                    continue
+                try:
+                    status, value = fut.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    self._teardown()
+                    raise WorkerFailure(
+                        rank, self._round, task,
+                        f"no result within {self.timeout:.0f}s -- worker "
+                        f"hung or was killed; pool torn down") from None
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    self._teardown()
+                    raise WorkerFailure(
+                        rank, self._round, task,
+                        f"worker process died abruptly ({exc}); pool torn "
+                        f"down") from exc
+                if status == "err":
+                    raise WorkerFailure(rank, self._round, task, value)
+                out.append(value)
+            return out
+        finally:
+            for seg in segments:
+                if seg is not None:
+                    seg.close()
+                    try:
+                        seg.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human description (CLI / docs)."""
+        return (f"multiprocess engine ({self.workers} workers, "
+                f"{self.start_method} start, shared-memory payloads, "
+                f"offload >= {self.min_offload_bytes} B)")
+
+
+def _shutdown_pool(pool: concurrent.futures.ProcessPoolExecutor,
+                   *, kill: bool = True) -> None:
+    """Shut a pool down without waiting on wedged workers."""
+    # Snapshot the worker handles first: shutdown() clears _processes.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter-shutdown races
+        pass
+    if kill:
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()

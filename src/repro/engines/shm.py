@@ -1,0 +1,83 @@
+"""Shared-memory transport for per-PE task payloads.
+
+Packs a task payload (a dict of numpy arrays plus small scalars) into one
+``multiprocessing.shared_memory`` segment so worker processes attach to the
+bytes instead of receiving a pickled copy through a pipe.  The driver owns
+the segment: it creates, fills and -- after the worker's result arrives --
+closes and unlinks it, so segment lifetime never depends on worker health
+(a crashed worker cannot leak the mapping).
+
+Layout: arrays are stored back to back at 64-byte-aligned offsets; the
+side-channel metadata (name, dtype, shape, offset per array, plus the
+non-array scalars) travels with the task submission and is tiny.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Alignment of each array inside the segment (cache-line).
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    """Round ``nbytes`` up to the segment alignment."""
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def payload_nbytes(payload: dict) -> int:
+    """Total array bytes a payload would occupy in shared memory."""
+    return sum(int(v.nbytes) for v in payload.values()
+               if isinstance(v, np.ndarray))
+
+
+def pack_payload(payload: dict
+                 ) -> Tuple[shared_memory.SharedMemory, List[tuple], dict]:
+    """Copy a payload's arrays into a fresh shared-memory segment.
+
+    Returns ``(segment, meta, scalars)`` where ``meta`` is a list of
+    ``(key, dtype_str, shape, offset)`` records describing the arrays and
+    ``scalars`` holds the payload's non-array values verbatim.  The caller
+    owns the segment and must ``close()`` + ``unlink()`` it.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    scalars: dict = {}
+    for key, value in payload.items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = np.ascontiguousarray(value)
+        else:
+            scalars[key] = value
+    total = sum(_aligned(a.nbytes) for a in arrays.values())
+    seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    meta: List[tuple] = []
+    offset = 0
+    for key, arr in arrays.items():
+        if arr.nbytes:
+            dst = np.frombuffer(seg.buf, dtype=arr.dtype, count=arr.size,
+                                offset=offset).reshape(arr.shape)
+            dst[...] = arr
+        meta.append((key, arr.dtype.str, arr.shape, offset))
+        offset += _aligned(arr.nbytes)
+    return seg, meta, scalars
+
+
+def unpack_payload(buf, meta: List[tuple], scalars: dict) -> dict:
+    """Rebuild a payload dict from a shared-memory buffer and its meta.
+
+    Array entries are read-only views into ``buf`` -- zero-copy on the
+    worker side.  Tasks must treat inputs as immutable (they already do:
+    tasks are pure), and anything they *return* is fresh memory, so no
+    result can alias the segment after it is unlinked.
+    """
+    payload = dict(scalars)
+    for key, dtype_str, shape, offset in meta:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(buf, dtype=dtype, count=count,
+                             offset=offset).reshape(shape)
+        view.flags.writeable = False
+        payload[key] = view
+    return payload

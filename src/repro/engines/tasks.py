@@ -1,0 +1,73 @@
+"""Registry of per-PE engine tasks (the unit of engine fan-out).
+
+A *task* is a named pure function of one PE's explicit inputs -- no machine
+handle, no RNG, no cost charging -- that returns a dict of plain numpy
+arrays / scalars.  Purity is what makes engine fan-out safe: a task may run
+in the driving process (in-process / batched engines, and the multiprocess
+engine below its offload threshold) or in a worker process attached to a
+shared-memory copy of the payload, and the result is bit-for-bit the same.
+
+Tasks are registered by name so worker processes can resolve them after a
+``fork``/``spawn`` without pickling code objects; the heavy per-PE kernels
+themselves live next to the algorithms they serve (``repro.core``) and are
+imported lazily on first execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+_TASKS: Dict[str, Callable[..., dict]] = {}
+
+
+def engine_task(name: str) -> Callable:
+    """Decorator registering a per-PE task under ``name``."""
+
+    def deco(fn: Callable[..., dict]) -> Callable[..., dict]:
+        _TASKS[name] = fn
+        return fn
+
+    return deco
+
+
+def task_names() -> list:
+    """Registered task names (diagnostics / tests)."""
+    return sorted(_TASKS)
+
+
+def run_task(name: str, payload: dict) -> dict:
+    """Execute the registered task ``name`` on one PE's payload dict."""
+    try:
+        fn = _TASKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine task {name!r}; registered: {task_names()}")
+    return fn(**payload)
+
+
+# ----------------------------------------------------------------------
+# Built-in tasks.  Lazy imports keep this module import-light for worker
+# bootstrap and avoid cycles (repro.core imports repro.engines).
+# ----------------------------------------------------------------------
+@engine_task("minedges")
+def _minedges_task(u, v, w, eid, starts) -> dict:
+    """MINEDGES on one PE: lightest incident edge per contiguous group."""
+    from ..core.minedges import min_edges_one_pe
+
+    to, weight, edge_id = min_edges_one_pe(u, v, w, eid, starts)
+    return {"to": to, "weight": weight, "edge_id": edge_id}
+
+
+@engine_task("local_contract")
+def _local_contract_task(u, v, w, eid, vids, shared_mask,
+                         use_filter) -> dict:
+    """One PE's local-preprocessing contraction (Section IV-A)."""
+    import numpy as np
+
+    from ..core.local_preprocessing import _contract_one_pe
+    from ..dgraph.edges import Edges
+
+    labels, ids, ws, rounds = _contract_one_pe(
+        Edges(u, v, w, eid), vids, shared_mask, bool(use_filter))
+    return {"labels": labels, "ids": ids, "ws": ws,
+            "rounds": np.int64(rounds)}

@@ -18,7 +18,7 @@ test suite can differential-test the engines against each other
 (see docs/kernels.md).
 """
 
-from .engine import KERNEL_ENGINES, batched_enabled, kernel_engine
+from .engine import KERNEL_ENGINES, batched_enabled, batched_for, kernel_engine
 from .ragged import RaggedArrays
 from .segmented import (
     first_in_group,
@@ -35,6 +35,7 @@ __all__ = [
     "KERNEL_ENGINES",
     "RaggedArrays",
     "batched_enabled",
+    "batched_for",
     "first_in_group",
     "kernel_engine",
     "packed_lexsort",

@@ -27,8 +27,28 @@ def kernel_engine() -> str:
 
 
 def batched_enabled() -> bool:
-    """Whether the batched engine is active."""
+    """Whether the batched engine is active (environment-only view).
+
+    Prefer :func:`batched_for` at dispatch sites that have a machine in
+    scope: execution engines (``Machine(engine=...)`` / ``REPRO_ENGINE``,
+    see :mod:`repro.engines`) are resolved per machine at construction,
+    and this function only reflects the legacy ``REPRO_KERNELS`` default.
+    """
     return kernel_engine() == "batched"
+
+
+def batched_for(machine) -> bool:
+    """Whether dispatch sites should take the batched path for ``machine``.
+
+    Machines carry an execution engine whose ``uses_batched_kernels``
+    attribute decides between the per-PE reference loops and the flat
+    segmented kernels; objects without an engine (plain test doubles)
+    fall back to the ``REPRO_KERNELS`` environment default.
+    """
+    engine = getattr(machine, "engine", None)
+    if engine is None:
+        return batched_enabled()
+    return engine.uses_batched_kernels
 
 
 #: Metrics registry receiving kernel invocation counts/host time, or None.

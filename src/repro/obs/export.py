@@ -37,7 +37,7 @@ TRACE_PID = 1
 TID_BASE = 1
 
 
-def _event_json(ev) -> Dict:
+def _event_json(ev, deterministic: bool = False) -> Dict:
     """One tracer tuple -> one Chrome trace-event object."""
     ph, name, cat, rank, ts_sim, ts_wall, round_, phase, value = ev
     out: Dict = {
@@ -48,7 +48,7 @@ def _event_json(ev) -> Dict:
         "tid": TID_BASE + rank if rank >= 0 else 0,
         "ts": ts_sim * 1e6,  # simulated seconds -> trace microseconds
     }
-    args: Dict = {"wall_s": round(ts_wall, 9)}
+    args: Dict = {} if deterministic else {"wall_s": round(ts_wall, 9)}
     if round_ >= 0:
         args["round"] = round_
     if phase is not None and cat != "phase":
@@ -62,13 +62,19 @@ def _event_json(ev) -> Dict:
 
 
 def chrome_trace(tracer: EventTracer,
-                 metadata: Optional[Dict] = None) -> Dict:
+                 metadata: Optional[Dict] = None,
+                 deterministic: bool = False) -> Dict:
     """Render a tracer's ring buffer as a Chrome trace-event JSON object.
 
     The returned dict has a ``traceEvents`` array (metadata events naming
     the process and one thread per PE, then the recorded events in
     chronological order) plus ``otherData`` carrying machine facts and the
     ring-buffer drop count.
+
+    ``deterministic=True`` omits the per-event host wall clock, leaving only
+    simulated quantities: two runs of the same seeded workload then export
+    byte-identical traces regardless of execution engine or host load (the
+    engine-conformance tests rely on this; see docs/engines.md).
     """
     events: List[Dict] = [{
         "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
@@ -86,7 +92,7 @@ def chrome_trace(tracer: EventTracer,
             "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
             "tid": TID_BASE + r, "args": {"sort_index": r},
         })
-    events.extend(_event_json(ev) for ev in tracer.events())
+    events.extend(_event_json(ev, deterministic) for ev in tracer.events())
     other = {
         "n_procs": tracer.n_procs,
         "n_events": len(tracer),
@@ -100,11 +106,13 @@ def chrome_trace(tracer: EventTracer,
 
 
 def write_chrome_trace(tracer: EventTracer, path,
-                       metadata: Optional[Dict] = None) -> Path:
+                       metadata: Optional[Dict] = None,
+                       deterministic: bool = False) -> Path:
     """Write :func:`chrome_trace` output as JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer, metadata)) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(tracer, metadata, deterministic)) + "\n")
     return path
 
 
@@ -116,10 +124,21 @@ def _finite(x: float):
     return x if math.isfinite(x) else None
 
 
-def metrics_to_dict(registry: MetricsRegistry) -> Dict:
-    """Serialise a metrics registry into plain JSON-ready structures."""
+def metrics_to_dict(registry: MetricsRegistry,
+                    deterministic: bool = False) -> Dict:
+    """Serialise a metrics registry into plain JSON-ready structures.
+
+    ``deterministic=True`` drops the host-wall-clock counters
+    (``kernel/*/host_seconds``): everything remaining is a pure function of
+    the simulated run, so same-seed runs serialise byte-identically across
+    execution engines (docs/engines.md).
+    """
+    counters = sorted(registry.counters().items())
+    if deterministic:
+        counters = [(k, c) for k, c in counters
+                    if not k.endswith("/host_seconds")]
     return {
-        "counters": {k: c.value for k, c in sorted(registry.counters().items())},
+        "counters": {k: c.value for k, c in counters},
         "gauges": {k: {"value": g.value, "max": g.max}
                    for k, g in sorted(registry.gauges().items())},
         "histograms": {
@@ -137,9 +156,10 @@ def metrics_to_dict(registry: MetricsRegistry) -> Dict:
 
 
 def write_metrics(registry: MetricsRegistry, path,
-                  metadata: Optional[Dict] = None) -> Path:
+                  metadata: Optional[Dict] = None,
+                  deterministic: bool = False) -> Path:
     """Write the metrics dump as indented JSON; returns the path."""
-    payload = metrics_to_dict(registry)
+    payload = metrics_to_dict(registry, deterministic)
     if metadata:
         payload["metadata"] = metadata
     path = Path(path)

@@ -49,7 +49,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..kernels import RaggedArrays, batched_enabled, route_counts
+from ..kernels import RaggedArrays, batched_for, route_counts
 from ..kernels.segmented import packed_lexsort
 from .collectives import Comm
 
@@ -239,7 +239,7 @@ def alltoallv_grid(
     # ---- Phase 1: route rows to their intermediates (within columns). ----
     # Each row additionally carries (final_dst, orig_src); these metadata
     # travel as parallel payloads through the same exchanges.
-    if batched_enabled():
+    if batched_for(comm.machine):
         row_lens = counts.sum(axis=1)
         src_of_row = np.repeat(np.arange(size), row_lens)
         dst_of_row = np.repeat(np.tile(np.arange(size), size), counts.ravel())
@@ -286,7 +286,7 @@ def alltoallv_grid(
                           nbytes=float(bytes_out1.sum()))
 
     # ---- Phase 2: deliver from intermediates to final destinations. ----
-    if batched_enabled():
+    if batched_for(comm.machine):
         mid_r = RaggedArrays.from_arrays(mid_dst)
         seg = mid_r.segment_ids()
         order_g = packed_lexsort((mid_r.flat, seg))
@@ -334,7 +334,7 @@ def alltoallv_grid(
         )
 
     # ---- Restore the MPI_Alltoallv contract: rows source-major. ----
-    if batched_enabled():
+    if batched_for(comm.machine):
         src_r = RaggedArrays.from_arrays(out_src)
         seg = src_r.segment_ids()
         order_g = packed_lexsort((src_r.flat, seg))
@@ -509,7 +509,7 @@ def route_rows(
     """
     size = comm.size
     fn = ALLTOALL_METHODS[method]
-    if batched_enabled():
+    if batched_for(comm.machine):
         rows_r = RaggedArrays.from_arrays(rows_per_pe)
         dest_r = RaggedArrays.from_arrays(
             [np.asarray(d, dtype=np.int64) for d in dest_per_row])

@@ -108,6 +108,15 @@ class Machine:
         off.  With no subsystem attached -- or an attached one whose
         schedule injects nothing -- simulated times are bit-for-bit
         identical to a machine without the knob.
+    engine:
+        The execution engine that runs the simulated PEs on the host
+        (see repro.engines and docs/engines.md): ``"inprocess"``,
+        ``"batched"``, ``"multiprocess"``, or a ready
+        :class:`~repro.engines.ExecutionEngine` instance.  ``None`` (the
+        default) defers to the ``REPRO_ENGINE`` environment variable and
+        then the legacy ``REPRO_KERNELS`` knob.  Engines never change
+        simulated behaviour -- clocks, phase times, RNG draws, traces
+        and MSF weights are bit-for-bit identical across all of them.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class Machine:
         sanitize: Optional[bool] = None,
         trace_events: Optional[bool] = None,
         faults=None,
+        engine=None,
     ):
         if n_procs < 1:
             raise ValueError(f"n_procs must be >= 1, got {n_procs}")
@@ -128,6 +138,10 @@ class Machine:
             raise ValueError(f"threads must be >= 1, got {threads}")
         self.n_procs = int(n_procs)
         self.threads = int(threads)
+        from ..engines import make_engine
+
+        #: Execution engine (see repro.engines / docs/engines.md).
+        self.engine = make_engine(engine).bind(self)
         self.cost = cost if cost is not None else CostModel()
         self.memory_limit_bytes = memory_limit_bytes
         self.seed = int(seed)
@@ -267,6 +281,10 @@ class Machine:
             self.metrics.reset()
         if self.faults is not None:
             self.faults.reset()
+        # Engine last: the multiprocess engine tears its worker pool down
+        # here and respawns it lazily, so a reset machine never reuses
+        # workers that may have been poisoned by a failed run.
+        self.engine.reset()
 
     def pe_rng(self, pe: int) -> np.random.Generator:
         """Deterministic per-PE random generator (stable across calls)."""
@@ -425,6 +443,28 @@ class Machine:
             raise SimulatedOutOfMemory(
                 worst, float(per_pe_bytes[worst]), float(self.memory_limit_bytes)
             )
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle.
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release host resources held by the execution engine.
+
+        Only the multiprocess engine holds any (its worker pool); calling
+        this is optional -- engines also clean up via gc finalizers --
+        but deterministic teardown keeps test output free of straggler
+        processes.  A closed machine remains usable: the engine respawns
+        its resources lazily on the next use.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "Machine":
+        """Context-manager entry: the machine itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -12,7 +12,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..kernels import RaggedArrays, batched_enabled, segmented_lexsort
+from ..kernels import RaggedArrays, batched_for, segmented_lexsort
 from ..kernels.segmented import packed_lexsort
 
 
@@ -35,9 +35,9 @@ def local_lexsort(rows: np.ndarray, n_key_cols: int) -> np.ndarray:
 
 
 def local_lexsort_parts(parts: Sequence[np.ndarray],
-                        n_key_cols: int) -> List[np.ndarray]:
+                        n_key_cols: int, machine=None) -> List[np.ndarray]:
     """Every PE's :func:`local_lexsort` -- one segmented lexsort when batched."""
-    if not batched_enabled():
+    if not batched_for(machine):
         return [local_lexsort(x, n_key_cols) for x in parts]
     r = RaggedArrays.from_arrays(parts)
     if len(r.flat) == 0:
@@ -98,7 +98,7 @@ def rebalance_blocks(comm, parts: Sequence[np.ndarray],
     total = int(np.sum(sizes))
     if total == 0:
         return [part.copy() for part in parts]
-    if batched_enabled():
+    if batched_for(comm.machine):
         # Concatenated per-PE global indices are exactly arange(total): the
         # exscan offsets are the cumulative sizes in rank order.
         dest_flat = owner_of(np.arange(total, dtype=np.int64), total, p)

@@ -24,7 +24,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..kernels import RaggedArrays, batched_enabled
+from ..kernels import RaggedArrays, batched_for
 from ..simmpi.alltoall import route_rows
 from ..simmpi.collectives import Comm
 from .common import as_row_matrix, local_lexsort
@@ -89,7 +89,7 @@ def sort_hypercube(
         pivot = keys[len(keys) // 2]
 
         # --- Partition and detect degenerate splits. ---
-        if batched_enabled():
+        if batched_for(machine):
             r = RaggedArrays.from_arrays(sub_parts)
             mask_flat = _le_pivot(r.flat, pivot, n_key_cols)
             low_masks = [mask_flat[r.offsets[k]:r.offsets[k + 1]]
@@ -132,7 +132,7 @@ def sort_hypercube(
                 low_masks = [_eq_key(x, pivot, n_key_cols) for x in sub_parts]
 
         # --- Scatter low rows over the lower half, high over the upper. ---
-        if batched_enabled():
+        if batched_for(machine):
             r = RaggedArrays.from_arrays(sub_parts)
             mask_flat = np.concatenate(low_masks) if len(r.flat) \
                 else np.zeros(0, dtype=bool)

@@ -16,7 +16,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..dgraph.search import lex_searchsorted
-from ..kernels import RaggedArrays, batched_enabled
+from ..kernels import RaggedArrays, batched_for
 from ..simmpi.alltoall import route_rows
 from ..simmpi.collectives import Comm
 from .common import as_row_matrix, local_lexsort_parts
@@ -40,11 +40,11 @@ def sort_samplesort(
     total = sum(len(x) for x in parts)
     if total == 0 or p == 1:
         machine.charge_sort(np.array([len(x) for x in parts]))
-        return local_lexsort_parts(parts, n_key_cols)
+        return local_lexsort_parts(parts, n_key_cols, machine)
 
     # ---- Local sort. ----
     machine.charge_sort(np.array([len(x) for x in parts]))
-    parts = local_lexsort_parts(parts, n_key_cols)
+    parts = local_lexsort_parts(parts, n_key_cols, machine)
 
     # ---- Sample and select p-1 splitters. ----
     samples = []
@@ -68,7 +68,7 @@ def sort_samplesort(
     splitters = sample[splitter_idx]
 
     # ---- Partition by splitters and exchange. ----
-    if batched_enabled():
+    if batched_for(machine):
         # The splitter keys are replicated, so every PE's binary search is
         # one flat lex_searchsorted call over all rows at once.
         r = RaggedArrays.from_arrays(parts)
@@ -101,4 +101,4 @@ def sort_samplesort(
 
     # ---- Local merge of the received sorted runs. ----
     machine.charge_sort(np.array([len(x) for x in recv]))
-    return local_lexsort_parts(recv, n_key_cols)
+    return local_lexsort_parts(recv, n_key_cols, machine)

@@ -13,6 +13,7 @@ budget; the ``slow``-marked soak tests and the ``deep`` profile
 (``REPRO_HYPOTHESIS_PROFILE=deep pytest -m slow``) explore much further.
 """
 
+import json
 import os
 
 import numpy as np
@@ -20,6 +21,7 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.competitors import awerbuch_shiloach_msf, mnd_mst
+from repro.engines import MultiprocessEngine
 from repro.faults import UnrecoverableFault
 from repro.core import (
     BoruvkaConfig,
@@ -29,6 +31,7 @@ from repro.core import (
 )
 from repro.dgraph import DistGraph
 from repro.graphgen import FAMILIES, gen_family
+from repro.obs.export import chrome_trace, metrics_to_dict
 from repro.seq import msf_weight, spans_same_components
 from repro.simmpi import Machine
 
@@ -155,6 +158,79 @@ class TestFaultIdentity:
             assert r1.elapsed > r0.elapsed, (
                 f"{faulted.faults.summary()} injected but recovered for "
                 "free (no simulated-time charge)")
+
+
+def _engine_of(name):
+    """Resolve an engine axis draw to a Machine engine spec."""
+    if name == "multiprocess":
+        # Force offload so the workers actually execute the per-PE tasks
+        # (fork keeps this process's task registry visible to them).
+        return MultiprocessEngine(min_offload_bytes=0, start_method="fork")
+    return name
+
+
+class TestEngineIdentity:
+    """Engine axis (docs/engines.md): random instances, bit-identical runs.
+
+    Any execution engine must be simulated-behaviour identical to the
+    batched reference on arbitrary instances, and two multiprocess runs of
+    the same seed must export byte-identical deterministic-mode metrics and
+    trace dumps.
+    """
+
+    @given(inst=instances(max_n=100), cfg=boruvka_configs(),
+           engine=st.sampled_from(["inprocess", "multiprocess"]),
+           algo=st.sampled_from([distributed_boruvka,
+                                 distributed_filter_boruvka,
+                                 awerbuch_shiloach_msf, mnd_mst]))
+    @settings(max_examples=15, deadline=None)
+    def test_engine_is_bitwise_identity(self, inst, cfg, engine, algo):
+        graph, p, threads = inst
+        takes_cfg = algo is distributed_boruvka
+
+        def run(spec):
+            with Machine(p, threads=threads, sanitize=True,
+                         engine=spec) as m:
+                dg = graph.distribute(m)
+                r = algo(dg, cfg) if takes_cfg else algo(dg)
+                return (r.total_weight, m.clock.copy(),
+                        dict(m.phase_times))
+
+        ref = run("batched")
+        out = run(_engine_of(engine))
+        assert out[0] == ref[0], (
+            f"{algo.__name__} weight differs under the {engine} engine")
+        assert np.array_equal(out[1], ref[1]), (
+            f"{algo.__name__} simulated clocks differ under {engine}")
+        assert out[2] == ref[2], (
+            f"{algo.__name__} phase times differ under {engine}")
+
+    @given(inst=instances(max_n=80), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_multiprocess_exports_are_deterministic(self, inst, seed):
+        graph, p, threads = inst
+        cfg = BoruvkaConfig(base_case_min=16)
+
+        def run():
+            with Machine(p, threads=threads, seed=seed, trace_events=True,
+                         engine=_engine_of("multiprocess")) as m:
+                dg = graph.distribute(m)
+                distributed_boruvka(dg, cfg)
+                return (
+                    json.dumps(chrome_trace(m.events, deterministic=True),
+                               sort_keys=True),
+                    json.dumps(
+                        metrics_to_dict(m.metrics, deterministic=True),
+                        sort_keys=True),
+                )
+
+        first, second = run(), run()
+        assert first[0] == second[0], (
+            "deterministic trace export differs between same-seed "
+            "multiprocess runs")
+        assert first[1] == second[1], (
+            "deterministic metrics export differs between same-seed "
+            "multiprocess runs")
 
 
 @pytest.mark.slow
