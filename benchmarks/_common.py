@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -74,8 +75,11 @@ def competitor_memory_limit(per_core_edges: int) -> float:
 #: In-process graph cache: sweeps re-request the same instance once per
 #: algorithm/thread configuration, so keep the last few decoded graphs
 #: around instead of re-reading (and re-inflating) the npz every time.
+#: LRU with a deliberately small capacity -- a sweep touches one family's
+#: handful of sizes at a time, and keeping every previous family resident
+#: costs tens of MB of peak RSS for no reuse.
 _GRAPH_MEMO: dict = {}
-_GRAPH_MEMO_MAX = 24
+_GRAPH_MEMO_MAX = 3
 
 
 def cached_graph(kind: str, **kwargs):
@@ -85,7 +89,14 @@ def cached_graph(kind: str, **kwargs):
         json.dumps({"kind": kind, **kwargs}, sort_keys=True).encode()
     ).hexdigest()[:16]
     if key in _GRAPH_MEMO:
-        return _GRAPH_MEMO[key]
+        g = _GRAPH_MEMO.pop(key)
+        _GRAPH_MEMO[key] = g  # LRU: re-insert as most recently used
+        return g
+    # Evict *before* acquiring the new graph: popping on insert would keep
+    # the displaced (possibly largest-size) instance alive while the new one
+    # is generated or inflated, doubling the transient graph footprint.
+    while len(_GRAPH_MEMO) >= _GRAPH_MEMO_MAX:
+        _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
     path = CACHE_DIR / f"{kind.replace('/', '_')}-{key}.npz"
     if path.exists():
         try:
@@ -106,10 +117,26 @@ def cached_graph(kind: str, **kwargs):
 
 
 def _memo_graph(key, g):
-    if len(_GRAPH_MEMO) >= _GRAPH_MEMO_MAX:
-        _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
     _GRAPH_MEMO[key] = g
     return g
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process tree so far, in bytes.
+
+    ``ru_maxrss`` covers the whole process lifetime (it never decreases),
+    so the value recorded by a benchmark is an upper bound including any
+    earlier work in the same interpreter.  Includes worker children (the
+    multiprocess engine); returns ``None`` where ``resource`` is missing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    # Linux reports KiB; macOS reports bytes.
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
 
 
 def report(name: str, text: str) -> None:
@@ -134,6 +161,7 @@ class BenchRecorder:
     def __init__(self, name: str):
         self.name = name
         self.wall_seconds = 0.0
+        self.peak_rss_bytes: int | None = None
         self.simulated: list[dict] = []
 
     def add(self, label: str, simulated_seconds: float, **extra) -> None:
@@ -155,6 +183,7 @@ class BenchRecorder:
         payload = {
             "name": self.name,
             "wall_seconds": self.wall_seconds,
+            "peak_rss_bytes": self.peak_rss_bytes,
             "kernels": kernel_engine(),
             "engine": default_engine_name(),
             "max_cores": MAX_CORES,
@@ -200,6 +229,7 @@ def bench_recorder(name: str):
         yield rec
     finally:
         rec.wall_seconds = time.perf_counter() - t0
+        rec.peak_rss_bytes = peak_rss_bytes()
         rec.write()
         if pushed_trace_dir:
             del os.environ["REPRO_TRACE_DIR"]

@@ -1,0 +1,125 @@
+"""Microbenchmark of the segmented kernels and the buffer pool.
+
+Times the hot kernels of :mod:`repro.kernels.segmented` in isolation --
+through the same ``record_kernel``/``kernel_sink`` hooks a traced machine
+uses -- on identical workloads in the two dtype layouts of the adaptive
+narrowing policy (``uint32`` vs ``int64``).  The per-kernel host seconds
+quantify the memory-bandwidth effect of the policy directly, without the
+simulator around it; the pool leg measures the scratch-arena hit rate on
+the packed-key path.
+
+Host seconds land in the ``BENCH_kernel_micro.json`` extras (they are
+machine-dependent); the ``simulated_seconds`` of every entry is a constant
+0.0 so the record stays bit-for-bit comparable across machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.engine import set_kernel_sink
+from repro.kernels.pool import BufferPool, active_pool, set_active_pool
+from repro.kernels.segmented import (
+    packed_lexsort,
+    segmented_lexsort,
+    segmented_searchsorted,
+    segmented_unique,
+)
+from repro.obs import MetricsRegistry
+
+from _common import bench_recorder, report
+
+#: Elements per workload (edge-scale: the fig3 sweep's largest part sizes).
+N = 1 << 18
+#: Simulated-PE segments the workloads split into.
+SEGMENTS = 64
+#: Value bound: everything fits uint32 so both layouts hold the same values.
+BOUND = 1 << 20
+
+
+def _workload(dtype, seed: int = 7):
+    """Deterministic kernel inputs in the requested storage dtype."""
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, BOUND, N).astype(dtype)
+    keys2 = rng.integers(0, BOUND, N).astype(dtype)
+    seg = np.repeat(np.arange(SEGMENTS, dtype=np.int64), N // SEGMENTS)
+    off = np.arange(SEGMENTS + 1, dtype=np.int64) * (N // SEGMENTS)
+    hay = np.sort(vals.reshape(SEGMENTS, -1), axis=1).ravel()
+    return vals, keys2, seg, off, hay
+
+
+def _run_kernels(dtype) -> dict:
+    """One pass over the kernel suite; returns name -> (calls, host_s)."""
+    registry = MetricsRegistry()
+    set_kernel_sink(registry)
+    try:
+        vals, keys2, seg, off, hay = _workload(dtype)
+        packed_lexsort((keys2, vals))
+        segmented_lexsort((vals, keys2), seg)
+        segmented_unique(vals, seg, SEGMENTS)
+        segmented_searchsorted(hay, off, vals, seg)
+    finally:
+        set_kernel_sink(None)
+    counters = registry.counters()
+    names = sorted({k.split("/")[1] for k in counters
+                    if k.startswith("kernel/")})
+    return {n: (int(counters[f"kernel/{n}/calls"].value),
+                counters[f"kernel/{n}/host_seconds"].value)
+            for n in names}
+
+
+def _run_pool() -> dict:
+    """Pool hit-rate leg: repeated pooled scratch cycles at one size class."""
+    pool = BufferPool(max_bytes=32 << 20)
+    prev = active_pool()
+    set_active_pool(pool)
+    try:
+        for _ in range(16):
+            block = active_pool().take(N, np.int64)
+            block[:] = 0
+            active_pool().give(block)
+    finally:
+        set_active_pool(prev)
+    return pool.stats()
+
+
+def _sweep():
+    out = {}
+    for label, dtype in (("narrow", np.uint32), ("wide", np.int64)):
+        _run_kernels(dtype)  # warm-up: allocator, caches, imports
+        out[label] = _run_kernels(dtype)
+    out["pool"] = _run_pool()
+    return out
+
+
+def test_kernel_micro(benchmark):
+    with bench_recorder("kernel_micro") as rec:
+        results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+        for layout in ("narrow", "wide"):
+            for name, (calls, host) in results[layout].items():
+                rec.add(f"{name}/{layout}", 0.0, calls=calls,
+                        host_seconds=host)
+        pool = results["pool"]
+        rec.add("pool/reuse", 0.0, **pool)
+
+    kernels = sorted(results["wide"])
+    lines = [f"Segmented kernels on {N} elements / {SEGMENTS} segments, "
+             f"host seconds by storage dtype",
+             f"{'kernel':>24s} {'uint32':>10s} {'int64':>10s} {'ratio':>7s}"]
+    for name in kernels:
+        hn = results["narrow"][name][1]
+        hw = results["wide"][name][1]
+        ratio = hw / hn if hn else float("nan")
+        lines.append(f"{name:>24s} {hn:10.4f} {hw:10.4f} {ratio:7.2f}")
+    pool = results["pool"]
+    total = pool["hits"] + pool["misses"]
+    lines.append(f"\nbuffer pool: {pool['hits']}/{total} takes served from "
+                 f"the free lists ({pool['bytes_reused'] >> 20} MiB reused)")
+    report("kernel_micro", "\n".join(lines))
+
+    # The suite must have exercised every kernel in both layouts ...
+    assert set(results["narrow"]) == set(results["wide"])
+    assert {"packed_lexsort", "segmented_lexsort",
+            "segmented_unique", "segmented_searchsorted"} <= set(kernels)
+    # ... and steady-state pooled scratch must be (nearly) all hits.
+    assert pool["hits"] >= 14

@@ -312,6 +312,7 @@ def _cmd_profile(args) -> int:
     from .graphgen import gen_family, load_npz
     from .obs import (
         chrome_trace,
+        kernel_pool_table,
         progress_table,
         validate_chrome_trace,
         write_chrome_trace,
@@ -350,6 +351,8 @@ def _cmd_profile(args) -> int:
     print(f"metrics         : {args.metrics_out}")
     print()
     print(progress_table(machine.metrics))
+    print()
+    print(kernel_pool_table(machine.metrics))
     if problems:
         for msg in problems[:10]:
             print(f"trace problem   : {msg}", file=sys.stderr)

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..kernels import RaggedArrays, batched_for, segmented_unique
+from ..kernels.pool import active_pool
 from ..obs.hooks import observe_round_end, observe_round_start
 from ..kernels.segmented import packed_lexsort
 from ..simmpi.alltoall import route_rows, unsort
@@ -81,11 +82,20 @@ def awerbuch_shiloach_msf(
     grid_c = max(1, int(math.isqrt(p)))
     row_vec_bytes = 8.0 * n / grid_c
 
-    # Edge blocks stay fixed for the whole run (no contraction!).
-    eu = [part.u.copy() for part in graph.parts]
-    ev = [part.v.copy() for part in graph.parts]
-    ew = [part.w.copy() for part in graph.parts]
-    eid = [part.id.copy() for part in graph.parts]
+    # Edge blocks stay fixed for the whole run (no contraction!) and are
+    # never written, so plain views of the partition suffice -- copying
+    # them would double the resident edge footprint for the entire run.
+    eu = [part.u for part in graph.parts]
+    ev = [part.v for part in graph.parts]
+    ew = [part.w for part in graph.parts]
+    eid = [part.id for part in graph.parts]
+
+    # Candidate-row dtype for the hook exchange: every column (component
+    # labels < n, weights, edge ids) must fit, and every PE must agree so
+    # the routed blocks concatenate without promotion.
+    cand_dt = np.result_type(
+        f_blocks[0].dtype,
+        *([a.dtype for a in ew + eid if len(a)] or [np.int64]))
 
     total_edges = sum(len(x) for x in eu)
     for iteration in range(cfg.max_rounds):
@@ -121,7 +131,7 @@ def awerbuch_shiloach_msf(
                 alive_total += int(alive.sum())
                 machine.charge_scan(np.array([len(a)]), ranks=np.array([i]))
                 if not alive.any():
-                    cand_rows.append(np.empty((0, 6), dtype=np.int64))
+                    cand_rows.append(np.empty((0, 6), dtype=cand_dt))
                     cand_dests.append(np.empty(0, dtype=np.int64))
                     continue
                 aa, bb = a[alive], b[alive]
@@ -134,11 +144,16 @@ def awerbuch_shiloach_msf(
                 cu = np.minimum(grp, oth)
                 cv = np.maximum(grp, oth)
                 groups, pick = _group_min(grp, w2, cu, cv, n)
-                rows = np.stack([groups, w2[pick], cu[pick], cv[pick],
-                                 id2[pick]], axis=1)
-                cand_rows.append(np.concatenate(
-                    [rows, oth[pick][:, None]], axis=1))
+                rows = np.empty((len(groups), 6), dtype=cand_dt)
+                rows[:, 0] = groups
+                rows[:, 1] = w2[pick]
+                rows[:, 2] = cu[pick]
+                rows[:, 3] = cv[pick]
+                rows[:, 4] = id2[pick]
+                rows[:, 5] = oth[pick]
+                cand_rows.append(rows)
                 cand_dests.append(owner_of(groups, n, p))
+                del aa, bb, w, ids, grp, oth, w2, id2, cu, cv, rows
             alive_total = comm.allreduce(
                 [int(x) for x in _per_pe(alive_total, p)])
             if alive_total == 0:
@@ -146,6 +161,7 @@ def awerbuch_shiloach_msf(
                 break
             recv, _, _ = route_rows(comm, cand_rows, cand_dests,
                                     method=cfg.alltoall)
+            del cand_rows, cand_dests
 
             # ---- Owners pick the global minimum per root and hook. ----
             hook_from, hook_to, hook_id, hook_w = [], [], [], []
@@ -229,12 +245,29 @@ def _group_min(grp, w, cu, cv, n_groups):
     span_cv = cv_hi - cv_lo + 1
     big = 1 << nk.bit_length()
     if (w_hi - w_lo + 1) * span_cu * span_cv * big < (1 << 62):
-        key = ((w - w_lo) * span_cu + (cu - cu_lo)) * span_cv + (cv - cv_lo)
-        key = key * big + np.arange(nk, dtype=np.int64)
+        # Build the packed key in-place in an int64 scratch buffer: the
+        # columns may arrive narrowed (uint32), where the first partial
+        # product alone can exceed 32 bits even when the guard admits the
+        # full key, and the in-place form avoids the chain of int64
+        # temporaries the one-expression version materialises.
+        key = active_pool().take(nk, np.int64)
+        np.copyto(key, w, casting="unsafe")
+        key -= w_lo
+        key *= span_cu
+        key += cu
+        key -= cu_lo
+        key *= span_cv
+        key += cv
+        key -= cv_lo
+        key *= big
+        key += np.arange(nk, dtype=np.int64)
         best = np.full(n_groups, np.iinfo(np.int64).max)
         np.minimum.at(best, grp, key)
+        active_pool().give(key)
         groups = np.flatnonzero(best != np.iinfo(np.int64).max)
-        return groups, best[groups] & (big - 1)
+        pick = best[groups] & (big - 1)
+        del best
+        return groups, pick
     order = packed_lexsort((cv, cu, w, grp))
     gs = grp[order]
     first = np.ones(len(gs), dtype=bool)
@@ -243,10 +276,14 @@ def _group_min(grp, w, cu, cv, n_groups):
 
 
 def _identity_blocks(n: int, p: int) -> List[np.ndarray]:
+    from ..kernels.dtypes import index_dtype
     from ..utils.partition import block_bounds
 
+    # Parent-pointer values are vertex labels < n; the policy dtype keeps
+    # the blocks (and everything ``_resolve`` derives from them) narrow.
     b = block_bounds(n, p)
-    return [np.arange(b[i], b[i + 1], dtype=np.int64) for i in range(p)]
+    dt = index_dtype(n - 1)
+    return [np.arange(b[i], b[i + 1], dtype=dt) for i in range(p)]
 
 
 def _lo(n: int, p: int, i: int) -> int:
@@ -272,21 +309,28 @@ def _resolve(comm: Comm, f_blocks: List[np.ndarray], n: int,
              ) -> List[np.ndarray]:
     """Look up f[x] for arbitrary per-PE label arrays (deduplicated)."""
     p = comm.size
+    # Labels are vertex ids < n; keep the callers' (possibly narrowed)
+    # storage dtype through the whole query/reply round trip instead of
+    # forcing int64 -- empty blocks take the common dtype so routed
+    # concatenations never promote.
+    q_dt = np.result_type(
+        *([x.dtype for x in labels_per_pe if len(x)] or [np.int64]))
+    f_dt = f_blocks[0].dtype if f_blocks else np.dtype(np.int64)
     if batched_for(comm.machine):
-        r = RaggedArrays.from_arrays(
-            [np.asarray(x, dtype=np.int64) for x in labels_per_pe])
+        r = RaggedArrays.from_arrays(labels_per_pe, dtype=q_dt)
         uniq, uoff, inv = segmented_unique(r.flat, r.segment_ids(), p)
         uniqs = [uniq[uoff[i]:uoff[i + 1]] for i in range(p)]
         invs = [inv[r.offsets[i]:r.offsets[i + 1]] for i in range(p)]
         dest_flat = owner_of(uniq, n, p) if len(uniq) else \
             np.empty(0, dtype=np.int64)
         dests = [dest_flat[uoff[i]:uoff[i + 1]] for i in range(p)]
+        del r
     else:
         uniqs, invs, dests = [], [], []
         for i in range(p):
-            uniq, inv = np.unique(np.asarray(labels_per_pe[i],
-                                             dtype=np.int64),
-                                  return_inverse=True)
+            uniq, inv = np.unique(
+                np.asarray(labels_per_pe[i], dtype=q_dt),
+                return_inverse=True)
             uniqs.append(uniq)
             invs.append(inv)
             dests.append(owner_of(uniq, n, p))
@@ -295,15 +339,17 @@ def _resolve(comm: Comm, f_blocks: List[np.ndarray], n: int,
     for i in range(p):
         q = recv[i]
         replies.append(f_blocks[i][q - _lo(n, p, i)]
-                       if len(q) else np.empty(0, dtype=np.int64))
+                       if len(q) else np.empty(0, dtype=f_dt))
     comm.machine.charge_hash(
         np.array([len(q) for q in recv], dtype=np.int64),
         ranks=np.arange(p))
+    del recv
     back, _, _ = route_rows(comm, replies, recv_src, method=method)
+    del replies, recv_src
     out = []
     for i in range(p):
         if len(uniqs[i]) == 0:
-            out.append(np.empty(0, dtype=np.int64))
+            out.append(np.empty(0, dtype=f_dt))
             continue
         out.append(unsort(orders[i], back[i])[invs[i]])
     return out

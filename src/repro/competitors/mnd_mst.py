@@ -149,18 +149,30 @@ def mnd_mst(
         recv, _, _ = route_rows(comm, rows, dests, method=cfg.alltoall)
         recv_maps, _, _ = route_rows(comm, map_rows, map_dests,
                                      method=cfg.alltoall)
+        # The shipped matrices are dead once routed; at the last level one
+        # leader's merge holds nearly the whole graph, so every stale copy
+        # still referenced here adds directly to peak memory.
+        del rows, dests, map_rows, map_dests
         with machine.phase("mnd_merge"):
             mem = np.zeros(p, dtype=np.float64)
             for leader in leaders:
                 vmaps[leader].merge(recv_maps[leader])
                 merged = Edges.concat(
                     [parts[leader], Edges.from_matrix(recv[leader])])
-                # Relabel through the combined subtree map.
+                recv[leader] = recv_maps[leader] = None
+                # Relabel through the combined subtree map.  ``resolve``
+                # works in int64; representatives are vertex IDs from the
+                # same space as the inputs, so cast back to the stored
+                # column dtype -- a leader otherwise drags widened columns
+                # (and double-size scratch in ``_contract_one_pe``) through
+                # every remaining level of the hierarchy.
                 u = vmaps[leader].resolve(merged.u)
                 v = vmaps[leader].resolve(merged.v)
                 alive = u != v
-                merged = Edges(u[alive], v[alive], merged.w[alive],
-                               merged.id[alive]).sort_lex()
+                merged = Edges(u[alive].astype(merged.u.dtype, copy=False),
+                               v[alive].astype(merged.v.dtype, copy=False),
+                               merged.w[alive], merged.id[alive]).sort_lex()
+                del u, v, alive
                 machine.charge_sort(np.array([max(len(merged), 1)]),
                                     ranks=np.array([leader]))
                 mem[leader] = len(merged) * 32.0

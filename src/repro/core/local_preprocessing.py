@@ -38,6 +38,8 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..kernels import narrow_payload
+from ..kernels.pool import active_pool
 from ..kernels.segmented import packed_lexsort
 from ..seq.filter_kruskal import filter_boruvka_msf
 from ..seq.kruskal import kruskal_msf
@@ -55,11 +57,15 @@ class _TaintedUnionFind:
     """
 
     def __init__(self, n: int, shared_mask: np.ndarray):
-        self.parent = np.arange(n, dtype=np.int64)
+        # Local vertex indices fit int32 at any simulated scale; find_many
+        # results inherit this dtype, which halves the per-round root
+        # arrays of the contraction loop below.
+        dt = np.int32 if n < (1 << 31) else np.int64
+        self.parent = np.arange(n, dtype=dt)
         self.rank = np.zeros(n, dtype=np.int8)
         self.taint = shared_mask.copy()
         # Designated representative index per root (the shared member if any).
-        self.rep = np.arange(n, dtype=np.int64)
+        self.rep = np.arange(n, dtype=dt)
 
     def find(self, x: int) -> int:
         """Root of ``x``'s set, with path compression."""
@@ -74,7 +80,7 @@ class _TaintedUnionFind:
     def find_many(self, xs: np.ndarray) -> np.ndarray:
         """Vectorised roots of many elements (compresses their paths)."""
         parent = self.parent
-        roots = np.asarray(xs, dtype=np.int64)
+        roots = np.asarray(xs, dtype=parent.dtype)
         while True:
             nxt = parent[roots]
             if np.array_equal(nxt, roots):
@@ -119,11 +125,18 @@ def _contract_one_pe(
         return vids.copy(), np.empty(0, dtype=np.int64), \
             np.empty(0, dtype=np.int64), 0
 
-    vidx_u = np.searchsorted(vids, part.u)
-    idx = np.searchsorted(vids, part.v)
+    # Index scratch dtype: vertex indices (< n_local) and row positions
+    # (< 2 * len(part)) both fit int32 at any simulated scale, and ~15 such
+    # arrays are simultaneously live per round below -- the narrow scratch
+    # halves the peak footprint of large merged parts (MND-MST leaders).
+    idx_dt = (np.int32 if max(n_local, 2 * len(part)) < (1 << 31)
+              else np.int64)
+    vidx_u = np.searchsorted(vids, part.u).astype(idx_dt, copy=False)
+    idx = np.searchsorted(vids, part.v).astype(idx_dt, copy=False)
     idx_c = np.minimum(idx, n_local - 1)
     v_local = (idx < n_local) & (vids[idx_c] == part.v)
-    vidx_v = np.where(v_local, idx_c, -1)
+    vidx_v = np.where(v_local, idx_c, idx_dt(-1))
+    del idx, idx_c
 
     # Candidate (contractible) edges: both endpoints local.  With the
     # filtering enhancement, restrict further to the local subgraph's MSF --
@@ -143,9 +156,10 @@ def _contract_one_pe(
     e_u = vidx_u[consider]
     e_v = vidx_v[consider]          # -1 for ghosts
     e_w = part.w[consider]
-    e_pos = np.flatnonzero(consider)
+    e_pos = np.flatnonzero(consider).astype(idx_dt, copy=False)
     e_cand = candidate[consider]
     ghost_label = part.v[consider]  # actual labels for canonical tie keys
+    del vidx_u, vidx_v, v_local, candidate, consider
 
     mst_ids: list[int] = []
     mst_ws: list[int] = []
@@ -169,20 +183,23 @@ def _contract_one_pe(
             cu_root, cv_root = cu_root[alive], cv_root[alive]
             label_u, label_v = label_u[alive], label_v[alive]
         a_u, a_v = cu_root, cv_root
-        a_lu, a_lv = label_u, label_v
         a_w = e_w
         a_cand = e_cand & (a_v >= 0)
-        key_cu = np.minimum(a_lu, a_lv)
-        key_cv = np.maximum(a_lu, a_lv)
+        key_cu = np.minimum(label_u, label_v)
+        key_cv = np.maximum(label_u, label_v)
+        del label_u, label_v
         # Group candidates by component: local edges feed both sides' groups,
         # cut edges only the source side.
         both = a_v >= 0
         grp = np.concatenate([a_u, a_v[both]])
-        sel = np.concatenate([np.arange(len(a_u)),
-                              np.flatnonzero(both)])
+        sel = np.concatenate([np.arange(len(a_u), dtype=idx_dt),
+                              np.flatnonzero(both).astype(idx_dt,
+                                                          copy=False)])
+        del both
         kw = a_w[sel]
         kcu = key_cu[sel]
         kcv = key_cv[sel]
+        del key_cu, key_cv
         # Per-group lexicographic minimum of (kw, kcu, kcv) with the lowest
         # input position breaking full-key ties -- exactly what the stable
         # sort keyed (kcv, kcu, kw, grp) used to pick, via one O(m) scatter
@@ -196,13 +213,29 @@ def _contract_one_pe(
         span_cv = cv_hi - cv_lo + 1
         big = 1 << nk.bit_length()
         if (w_hi - w_lo + 1) * span_cu * span_cv * big < (1 << 62):
-            key = ((kw - w_lo) * span_cu + (kcu - cu_lo)) * span_cv \
-                + (kcv - cv_lo)
-            key = key * big + np.arange(nk, dtype=np.int64)
+            # Build the packed key in int64, in place, in a pooled block:
+            # the key columns may be stored uint32 (repro.kernels.dtypes)
+            # and the products here legitimately exceed 32 bits, but a
+            # chained expression would hold several full-size int64
+            # temporaries at once at the peak of the round.
+            key = active_pool().take(nk, np.int64)
+            np.copyto(key, kw, casting="unsafe")
+            key -= w_lo
+            key *= span_cu
+            key += kcu
+            key -= cu_lo
+            key *= span_cv
+            key += kcv
+            key -= cv_lo
+            key *= big
+            key += np.arange(nk, dtype=np.int64)
             best = np.full(n_local, np.iinfo(np.int64).max)
             np.minimum.at(best, grp, key)
+            active_pool().give(key)
+            del key
             groups = np.flatnonzero(best != np.iinfo(np.int64).max)
             chosen = sel[best[groups] & (big - 1)]
+            del best
         else:
             order = packed_lexsort((kcv, kcu, kw, grp))
             g_sorted = grp[order]
@@ -210,12 +243,15 @@ def _contract_one_pe(
             first[1:] = g_sorted[1:] != g_sorted[:-1]
             groups = g_sorted[first]
             chosen = sel[order[first]]  # row into the compacted arrays
+            del order, g_sorted, first
+        del grp, sel, kw, kcu, kcv
         # Contract where the choosing component is untainted and its minimum
         # is a contractible (local MSF) edge.
         ok = ~uf.taint[groups] & a_cand[chosen]
         did_union = False
         rows = np.unique(chosen[ok])
         pos = e_pos[rows]
+        del groups, chosen, ok
         # uf.union inlined over plain Python lists (same op order, same
         # state evolution): this loop dominates the per-PE contraction time
         # and list indexing beats numpy scalar indexing several-fold.
@@ -328,12 +364,12 @@ def local_preprocessing(graph: DistGraph, run: MSTRun) -> DistGraph:
         contract_payloads = []
         for i in range(p):
             part = graph.parts[i]
-            contract_payloads.append({
+            contract_payloads.append(narrow_payload({
                 "u": np.asarray(part.u), "v": np.asarray(part.v),
                 "w": np.asarray(part.w), "eid": np.asarray(part.id),
                 "vids": vids_per_pe[i], "shared_mask": shared_masks[i],
                 "use_filter": bool(cfg.preprocessing_filter),
-            })
+            }))
         contracted = eng.pe_map("local_contract", contract_payloads)
     labels_per_pe: List[np.ndarray] = []
     for i in range(p):

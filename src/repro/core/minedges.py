@@ -23,7 +23,7 @@ from ..kernels.segmented import packed_lexsort
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.search import sorted_lookup
-from ..kernels import batched_for, first_in_group
+from ..kernels import batched_for, first_in_group, narrow_payload
 
 
 @dataclass
@@ -128,11 +128,11 @@ def _min_edges_fanout(graph: DistGraph, eng) -> List[ChosenEdges]:
         if len(vids) == 0:
             payloads.append(None)
             continue
-        payloads.append({
+        payloads.append(narrow_payload({
             "u": np.asarray(part.u), "v": np.asarray(part.v),
             "w": np.asarray(part.w), "eid": np.asarray(part.id),
             "starts": np.asarray(starts),
-        })
+        }))
     results = eng.pe_map("minedges", payloads)
     out: List[ChosenEdges] = []
     for i in range(p):

@@ -78,11 +78,23 @@ class DistGraph:
         that the initial partition has no shared vertices (Section VII).
         """
         p = machine.n_procs
-        g = edges.sort_lex()
+        m = len(edges)
         # Directed-edge ids are positions in the sorted global sequence --
         # the contract the MST output stage (REDISTRIBUTEMST) relies on.
-        g.id[:] = np.arange(len(g), dtype=np.int64)
-        m = len(g)
+        # Generated graphs arrive sorted with positional ids already
+        # (graphgen finalisation), in which case both the O(m log m) sort
+        # and the O(m) copy are skipped; the parts below are takes (fresh
+        # arrays), so ``edges`` itself is never mutated or adopted.
+        if edges.is_sorted_lex() and (
+                m == 0 or (int(edges.id[0]) == 0
+                           and int(edges.id[-1]) == m - 1
+                           and np.array_equal(
+                               edges.id,
+                               np.arange(m, dtype=edges.id.dtype)))):
+            g = edges
+        else:
+            g = edges.sort_lex()
+            g.id[:] = np.arange(m, dtype=np.int64)
         bounds = np.linspace(0, m, p + 1).astype(np.int64)
         if avoid_shared and m:
             for i in range(1, p):

@@ -33,21 +33,44 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..kernels.dtypes import index_dtype
 from ..kernels.segmented import packed_lexsort
 
 
-class Edges:
-    """A sequence of directed weighted edges as parallel int64 arrays."""
+def _as_col(a) -> np.ndarray:
+    """A contiguous integer column: integer dtypes kept, others -> int64.
 
-    __slots__ = ("u", "v", "w", "id")
+    Preserving the caller's integer dtype is what lets the adaptive
+    narrowing policy (``repro.kernels.dtypes``) flow through: a graph built
+    from ``uint32`` columns stays ``uint32`` through take/concat/transport.
+    """
+    a = np.ascontiguousarray(a)
+    if a.dtype.kind not in "iu":
+        a = np.ascontiguousarray(a, dtype=np.int64)
+    return a
+
+
+class Edges:
+    """A sequence of directed weighted edges as parallel integer arrays.
+
+    Columns are ``int64`` by default; integer inputs keep their own dtype
+    (the narrowing policy stores benchmark-scale graphs as ``uint32``).
+    Simulated-machine byte accounting is unaffected by the storage width --
+    every integer element counts as one logical 8-byte word (see
+    ``repro.kernels.dtypes``).
+    """
+
+    __slots__ = ("u", "v", "w", "id", "_sorted_lex")
 
     def __init__(self, u, v, w, id=None):
-        self.u = np.ascontiguousarray(u, dtype=np.int64)
-        self.v = np.ascontiguousarray(v, dtype=np.int64)
-        self.w = np.ascontiguousarray(w, dtype=np.int64)
+        self.u = _as_col(u)
+        self.v = _as_col(v)
+        self.w = _as_col(w)
         if id is None:
-            id = np.arange(len(self.u), dtype=np.int64)
-        self.id = np.ascontiguousarray(id, dtype=np.int64)
+            n = len(self.u)
+            id = np.arange(n, dtype=index_dtype(max(n - 1, 0)))
+        self.id = _as_col(id)
+        self._sorted_lex = False
         n = len(self.u)
         if not (len(self.v) == len(self.w) == len(self.id) == n):
             raise ValueError("u, v, w, id must have equal length")
@@ -65,11 +88,16 @@ class Edges:
         parts = list(parts)
         if not parts:
             return cls.empty()
+        # Zero-length parts contribute nothing but their dtype (an int64
+        # Edges.empty() would silently widen narrow columns) -- drop them.
+        nonempty = [p for p in parts if len(p)]
+        if not nonempty:
+            return cls.empty()
         return cls(
-            np.concatenate([p.u for p in parts]),
-            np.concatenate([p.v for p in parts]),
-            np.concatenate([p.w for p in parts]),
-            np.concatenate([p.id for p in parts]),
+            np.concatenate([p.u for p in nonempty]),
+            np.concatenate([p.v for p in nonempty]),
+            np.concatenate([p.w for p in nonempty]),
+            np.concatenate([p.id for p in nonempty]),
         )
 
     def __len__(self) -> int:
@@ -77,18 +105,21 @@ class Edges:
 
     def take(self, idx) -> "Edges":
         """Subset / reorder by integer or boolean index."""
-        # The columns are already int64 and equally long; skip __init__'s
+        # The columns are already integer and equally long; skip __init__'s
         # re-coercion (ascontiguousarray is still needed for strided slices).
         e = object.__new__(Edges)
         e.u = np.ascontiguousarray(self.u[idx])
         e.v = np.ascontiguousarray(self.v[idx])
         e.w = np.ascontiguousarray(self.w[idx])
         e.id = np.ascontiguousarray(self.id[idx])
+        e._sorted_lex = False
         return e
 
     def copy(self) -> "Edges":
         """A deep copy (all four arrays duplicated)."""
-        return Edges(self.u.copy(), self.v.copy(), self.w.copy(), self.id.copy())
+        e = Edges(self.u.copy(), self.v.copy(), self.w.copy(), self.id.copy())
+        e._sorted_lex = self._sorted_lex
+        return e
 
     # ------------------------------------------------------------------
     # Ordering.
@@ -98,23 +129,47 @@ class Edges:
         return packed_lexsort((self.w, self.v, self.u))
 
     def sort_lex(self) -> "Edges":
-        """Sorted copy in lexicographic (u, v, w) order."""
-        return self.take(self.lex_order())
+        """Sorted copy in lexicographic (u, v, w) order.
 
-    def is_sorted_lex(self) -> bool:
-        """Whether the sequence is in lexicographic (u, v, w) order."""
+        When the sequence is already *known* sorted (cached flag set by a
+        previous sort or verify) the O(m log m) sort collapses to an O(m)
+        copy; the result is still a fresh object the caller may mutate.
+        """
+        if self._sorted_lex:
+            return self.copy()
+        e = self.take(self.lex_order())
+        e._sorted_lex = True
+        return e
+
+    def is_sorted_lex(self, force: bool = False) -> bool:
+        """Whether the sequence is in lexicographic (u, v, w) order.
+
+        A positive answer is cached (columns are never mutated in place
+        anywhere in the tree; only ``id`` is, which the order ignores).
+        ``force=True`` re-verifies even when the cached flag is set -- the
+        sanitizer uses it so its checks never become vacuous.
+        """
+        if self._sorted_lex and not force:
+            return True
+        ok = self._verify_sorted_lex()
+        if ok:
+            self._sorted_lex = True
+        return ok
+
+    def _verify_sorted_lex(self) -> bool:
+        # Comparison-based on purpose: np.diff on uint32 columns wraps.
         if len(self) <= 1:
             return True
         u, v, w = self.u, self.v, self.w
-        du = np.diff(u)
-        if (du < 0).any():
+        u0, u1 = u[:-1], u[1:]
+        if (u1 < u0).any():
             return False
-        eq_u = du == 0
-        dv = np.diff(v)
-        if (dv[eq_u] < 0).any():
+        eq = u1 == u0
+        v0, v1 = v[:-1], v[1:]
+        if ((v1 < v0) & eq).any():
             return False
-        eq_uv = eq_u & (dv == 0)
-        if (np.diff(w)[eq_uv] < 0).any():
+        eq &= v1 == v0
+        if ((w[1:] < w[:-1]) & eq).any():
             return False
         return True
 
@@ -139,8 +194,15 @@ class Edges:
     N_COLS = 4
 
     def as_matrix(self) -> np.ndarray:
-        """Pack into an ``(m, 4)`` int64 matrix ``[u, v, w, id]`` for transport."""
-        out = np.empty((len(self), self.N_COLS), dtype=np.int64)
+        """Pack into an ``(m, 4)`` matrix ``[u, v, w, id]`` for transport.
+
+        The matrix dtype is the promotion of the four columns -- ``uint32``
+        for a fully narrowed graph, halving the bytes the host shuffles
+        (simulated byte counts stay at 8 logical bytes per element either
+        way).
+        """
+        dt = np.result_type(self.u, self.v, self.w, self.id)
+        out = np.empty((len(self), self.N_COLS), dtype=dt)
         out[:, 0] = self.u
         out[:, 1] = self.v
         out[:, 2] = self.w
@@ -150,7 +212,10 @@ class Edges:
     @classmethod
     def from_matrix(cls, mat: np.ndarray) -> "Edges":
         """Unpack an ``(m, 4)`` transport matrix back into an edge sequence."""
-        mat = np.asarray(mat, dtype=np.int64).reshape(-1, cls.N_COLS)
+        mat = np.asarray(mat)
+        if mat.dtype.kind not in "iu":
+            mat = mat.astype(np.int64)
+        mat = mat.reshape(-1, cls.N_COLS)
         return cls(mat[:, 0], mat[:, 1], mat[:, 2], mat[:, 3])
 
     # ------------------------------------------------------------------

@@ -58,6 +58,25 @@ def _minedges_task(u, v, w, eid, starts) -> dict:
     return {"to": to, "weight": weight, "edge_id": edge_id}
 
 
+@engine_task("sort_partition")
+def _sort_partition_task(rows, n_key_cols) -> dict:
+    """Local lexicographic row sort of one PE's partition."""
+    from ..sorting.common import local_lexsort
+
+    return {"rows": local_lexsort(rows, int(n_key_cols))}
+
+
+@engine_task("resolve_labels")
+def _resolve_labels_task(u, v, w, eid, vids, labels, ghosts,
+                         glabels) -> dict:
+    """RELABEL on one PE: rewrite endpoints to roots, drop self loops."""
+    from ..core.labels import _relabel_one_pe
+
+    ku, kv, kw, kid = _relabel_one_pe(u, v, w, eid, vids, labels, ghosts,
+                                      glabels)
+    return {"u": ku, "v": kv, "w": kw, "id": kid}
+
+
 @engine_task("local_contract")
 def _local_contract_task(u, v, w, eid, vids, shared_mask,
                          use_filter) -> dict:

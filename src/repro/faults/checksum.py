@@ -55,12 +55,19 @@ def flip_bit(buf: np.ndarray, pos: int, bit: int) -> np.ndarray:
     (and discards) via :func:`buffer_checksum`; the original buffer is
     never modified, so a detected-and-retransmitted corruption leaves the
     delivered data bit-identical to the fault-free run.
+
+    Works for any element width: ``bit`` is taken modulo the element's bit
+    count, so the injector can keep drawing ``bit`` uniformly from [0, 64)
+    regardless of how narrow the host's transport storage is (the RNG
+    stream -- and hence the simulated run -- is unchanged by narrowing).
     """
     out = np.array(buf, copy=True)
     flat = out.reshape(-1)
-    words = flat.view(np.uint64) if flat.dtype.itemsize == 8 else None
-    if words is None:
-        raise ValueError(
-            f"flip_bit needs a 64-bit element buffer, got {flat.dtype}")
-    words[pos] ^= np.uint64(1) << np.uint64(bit)
+    itemsize = flat.dtype.itemsize
+    if itemsize not in (1, 2, 4, 8):
+        raise ValueError(f"flip_bit cannot address dtype {flat.dtype}")
+    utype = np.dtype(f"u{itemsize}")
+    words = flat.view(utype)
+    width = np.uint64(8 * itemsize)
+    words[pos] ^= utype.type(np.uint64(1) << (np.uint64(bit) % width))
     return out

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
+from ..kernels.dtypes import index_dtype, narrow
 from ..simmpi.machine import Machine
 from .weights import assign_uniform_weights
 
@@ -91,12 +92,20 @@ def finalize_pairs(
     cv = code % n_vertices
     w = assign_uniform_weights(len(cu), seed=seed, low=weight_low,
                                high=weight_high)
+    # Store the finished instance in the narrowest safe dtype (uint32 for
+    # every benchmark-scale graph): the dominant resident allocation of a
+    # run is this edge list plus the DistGraph parts taken from it.
+    vid_dt = index_dtype(max(int(n_vertices) - 1, 0))
+    cu = cu.astype(vid_dt, copy=False) if vid_dt != cu.dtype else cu
+    cv = cv.astype(vid_dt, copy=False) if vid_dt != cv.dtype else cv
+    w = narrow(w, max_value=max(int(weight_high) - 1, 0))
     sym = Edges(
         np.concatenate([cu, cv]),
         np.concatenate([cv, cu]),
         np.concatenate([w, w]),
     ).sort_lex()
-    sym.id[:] = np.arange(len(sym), dtype=np.int64)
+    m = len(sym)
+    sym.id = np.arange(m, dtype=index_dtype(max(m - 1, 0)))
     return GeneratedGraph(
         name=name, n_vertices=int(n_vertices), edges=sym,
         params=dict(params or {}),

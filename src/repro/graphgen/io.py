@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from ..dgraph.edges import Edges
+from ..kernels.dtypes import index_dtype, narrow
 from ..utils.varint import CompressedEdgeList
 from .base import GeneratedGraph
 
@@ -34,12 +35,25 @@ def save_npz(graph: GeneratedGraph, path: str | Path) -> None:
 
 
 def load_npz(path: str | Path) -> GeneratedGraph:
-    """Load an instance saved by :func:`save_npz`."""
+    """Load an instance saved by :func:`save_npz`.
+
+    Columns are narrowed to the policy dtype on load (archives written
+    before dtype narrowing -- or with it disabled -- store int64), so a
+    cached instance costs the same resident memory as a fresh one.
+    """
     data = np.load(Path(path), allow_pickle=False)
-    edges = Edges(data["u"], data["v"], data["w"], data["id"])
+    n_vertices = int(data["n_vertices"])
+    vid_bound = max(n_vertices - 1, 0)
+    m = len(data["u"])
+    edges = Edges(
+        narrow(data["u"], max_value=vid_bound),
+        narrow(data["v"], max_value=vid_bound),
+        narrow(data["w"]),
+        narrow(data["id"], max_value=max(m - 1, 0)),
+    )
     return GeneratedGraph(
         name=bytes(data["name"]).decode(),
-        n_vertices=int(data["n_vertices"]),
+        n_vertices=n_vertices,
         edges=edges,
         params=json.loads(bytes(data["params"]).decode()),
     )

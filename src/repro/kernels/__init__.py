@@ -18,12 +18,15 @@ test suite can differential-test the engines against each other
 (see docs/kernels.md).
 """
 
+from .dtypes import index_dtype, narrow, narrow_payload, narrowing_enabled, widen
 from .engine import KERNEL_ENGINES, batched_enabled, batched_for, kernel_engine
+from .pool import BufferPool, active_pool, set_active_pool
 from .ragged import RaggedArrays
 from .segmented import (
     first_in_group,
     packed_lexsort,
     route_counts,
+    route_plan,
     segment_ids,
     segmented_lexsort,
     segmented_lookup,
@@ -33,16 +36,25 @@ from .segmented import (
 
 __all__ = [
     "KERNEL_ENGINES",
+    "BufferPool",
     "RaggedArrays",
+    "active_pool",
     "batched_enabled",
     "batched_for",
     "first_in_group",
+    "index_dtype",
     "kernel_engine",
+    "narrow",
+    "narrow_payload",
+    "narrowing_enabled",
     "packed_lexsort",
     "route_counts",
+    "route_plan",
     "segment_ids",
     "segmented_lexsort",
     "segmented_lookup",
     "segmented_searchsorted",
     "segmented_unique",
+    "set_active_pool",
+    "widen",
 ]

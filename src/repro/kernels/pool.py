@@ -1,0 +1,174 @@
+"""Per-machine buffer pool for round-to-round kernel scratch arrays.
+
+The batched kernels allocate the same handful of scratch shapes every round
+(packed sort keys, per-column shift buffers, gather orders).  ``np.empty``
+is cheap but not free: large blocks bounce between the allocator and the
+kernel's page tables every round, and peak RSS grows with the worst-case
+set of simultaneously live temporaries.  The pool recycles blocks keyed by
+``(size-class, dtype)`` -- power-of-two size classes, so a request is served
+by any block at least as large -- which keeps the hot path's scratch
+footprint flat across rounds.
+
+Usage contract
+--------------
+Only *internal* scratch may come from the pool: a kernel must ``give``
+every block back before returning, and nothing returned to a caller may
+alias pool memory.  :func:`active_pool` hands out the most recently
+installed machine's pool (mirroring the kernel-sink wiring in
+:mod:`repro.kernels.engine`); kernels running without a machine fall back
+to a process-global default pool so the API never needs ``None`` checks.
+
+Statistics (hits, misses, bytes served from the pool vs freshly allocated)
+are plain integers on the pool; a traced machine exports them into its
+``repro.obs`` metrics registry (``pool/*`` counters, visible in
+``repro profile`` and the metrics JSON).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def _default_max_bytes() -> int:
+    """Per-pool parked-bytes budget (``REPRO_POOL_MAX_MB`` to override).
+
+    Deliberately modest: parked blocks raise resident memory that the
+    allocator would otherwise return to the OS, so the budget only needs to
+    cover the handful of hot scratch shapes of one round, not every block
+    ever seen.  ``REPRO_POOL_MAX_MB=0`` disables pooling (every take is a
+    fresh allocation).
+    """
+    return int(float(os.environ.get("REPRO_POOL_MAX_MB", "32")) * (1 << 20))
+
+
+class BufferPool:
+    """Arena of reusable 1-D scratch blocks keyed by (size-class, dtype)."""
+
+    def __init__(self, max_bytes: Optional[int] = None):
+        self.max_bytes = (_default_max_bytes() if max_bytes is None
+                          else int(max_bytes))
+        self._free: Dict[tuple, List[np.ndarray]] = {}
+        self._held_bytes = 0
+        # Plain-int statistics; exported through repro.obs when attached.
+        self.hits = 0
+        self.misses = 0
+        self.bytes_reused = 0
+        self.bytes_allocated = 0
+        self._sink = None
+
+    # ------------------------------------------------------------------
+    def attach_sink(self, registry) -> None:
+        """Mirror statistics into a metrics registry (``pool/*`` counters)."""
+        self._sink = registry
+
+    @staticmethod
+    def _size_class(n: int) -> int:
+        """Power-of-two capacity class serving a request for ``n`` elements."""
+        return max(1, int(n)).bit_length()
+
+    # ------------------------------------------------------------------
+    def take(self, n: int, dtype) -> np.ndarray:
+        """A 1-D scratch array of exactly ``n`` elements (contents arbitrary).
+
+        Served from the free lists when a block of the right class exists,
+        freshly allocated otherwise.  The caller must hand the array (or
+        any view of it) back via :meth:`give` before its kernel returns.
+        """
+        dtype = np.dtype(dtype)
+        key = (self._size_class(n), dtype.str)
+        free = self._free.get(key)
+        if free:
+            block = free.pop()
+            self._held_bytes -= block.nbytes
+            self.hits += 1
+            self.bytes_reused += int(n) * dtype.itemsize
+            if self._sink is not None:
+                self._sink.counter("pool/hits").inc()
+                self._sink.counter("pool/bytes_reused").inc(
+                    int(n) * dtype.itemsize)
+        else:
+            block = np.empty(1 << self._size_class(n), dtype=dtype)
+            self.misses += 1
+            self.bytes_allocated += block.nbytes
+            if self._sink is not None:
+                self._sink.counter("pool/misses").inc()
+                self._sink.counter("pool/bytes_allocated").inc(block.nbytes)
+        return block[:n]
+
+    def give(self, arr: Optional[np.ndarray]) -> None:
+        """Return a block obtained from :meth:`take` to the free lists.
+
+        Accepts the exact array handed out (a view of the pooled block) or
+        ``None`` (no-op, simplifying cleanup paths).  Foreign arrays --
+        whose backing block did not come from this pool -- are silently
+        dropped rather than adopted, so a mismatched ``give`` can never
+        corrupt the pool.
+        """
+        if arr is None:
+            return
+        block = arr if arr.base is None else arr.base
+        if not isinstance(block, np.ndarray) or block.ndim != 1:
+            return
+        cls = block.size.bit_length() - 1
+        if (1 << cls) != block.size:
+            return  # not a pool-shaped block
+        if self._held_bytes + block.nbytes > self.max_bytes:
+            return  # over budget: let the allocator have it back
+        key = (cls, block.dtype.str)
+        self._free.setdefault(key, []).append(block)
+        self._held_bytes += block.nbytes
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every parked block (machine reset / teardown)."""
+        self._free.clear()
+        self._held_bytes = 0
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently parked in the free lists."""
+        return self._held_bytes
+
+    def stats(self) -> dict:
+        """Snapshot of the pool counters (diagnostics / exports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_reused": self.bytes_reused,
+            "bytes_allocated": self.bytes_allocated,
+            "held_bytes": self._held_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BufferPool(hits={self.hits}, misses={self.misses}, "
+                f"held={self._held_bytes >> 20}MB)")
+
+
+#: Fallback pool for kernels invoked without a machine (unit tests, tools).
+_DEFAULT_POOL = BufferPool()
+_ACTIVE_POOL: BufferPool = _DEFAULT_POOL
+
+
+def active_pool() -> BufferPool:
+    """The pool scratch-hungry kernels should draw from (never ``None``)."""
+    return _ACTIVE_POOL
+
+
+def set_active_pool(pool: Optional[BufferPool]) -> None:
+    """Install ``pool`` as the active arena (``None`` restores the default).
+
+    Mirrors :func:`repro.kernels.engine.set_kernel_sink`: each
+    :class:`~repro.simmpi.machine.Machine` installs its own pool at
+    construction, so kernels driven by the most recent machine reuse that
+    machine's arena.  The displaced pool's parked blocks are handed back to
+    the allocator -- a dormant pool would otherwise keep up to its whole
+    budget resident for the rest of the process.
+    """
+    global _ACTIVE_POOL
+    new = pool if pool is not None else _DEFAULT_POOL
+    if new is not _ACTIVE_POOL:
+        _ACTIVE_POOL.clear()
+    _ACTIVE_POOL = new

@@ -36,14 +36,26 @@ class RaggedArrays:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_arrays(cls, arrays: Sequence[np.ndarray]) -> "RaggedArrays":
-        """Pack a per-PE list of arrays into one flat array + offsets."""
+    def from_arrays(cls, arrays: Sequence[np.ndarray],
+                    dtype=None) -> "RaggedArrays":
+        """Pack a per-PE list of arrays into one flat array + offsets.
+
+        With ``dtype`` given, the flat array is coerced to exactly that
+        dtype (narrow or wide); without it, numpy's concatenation
+        promotion decides -- the inputs' own dtype when they agree.
+        """
         arrays = [a if isinstance(a, np.ndarray) and a.ndim
                   else np.atleast_1d(a) for a in arrays]
-        lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+        lengths = np.fromiter((len(a) for a in arrays), dtype=np.int64,
+                              count=len(arrays))
         offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
         np.cumsum(lengths, out=offsets[1:])
-        flat = np.concatenate(arrays, axis=0) if arrays else np.empty(0, np.int64)
+        if arrays:
+            flat = np.concatenate(arrays, axis=0)
+            if dtype is not None and flat.dtype != np.dtype(dtype):
+                flat = flat.astype(dtype)
+        else:
+            flat = np.empty(0, dtype=dtype if dtype is not None else np.int64)
         out = cls(flat, offsets)
         out._lengths = lengths
         return out

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .dtypes import index_dtype
 from .engine import kernel_sink, record_kernel
+from .pool import active_pool
 
 
 def _instrumented(fn):
@@ -50,42 +52,83 @@ def segment_ids(offsets: np.ndarray) -> np.ndarray:
                      np.diff(offsets))
 
 
+def _narrow_perm(perm: np.ndarray, n: int) -> np.ndarray:
+    """Permutation indices in the narrowest safe policy dtype."""
+    dt = index_dtype(max(n - 1, 0))
+    if perm.dtype != dt:
+        return perm.astype(dt)
+    return perm
+
+
 @_instrumented
-def packed_lexsort(keys: Sequence[np.ndarray]) -> np.ndarray:
+def packed_lexsort(keys: Sequence[np.ndarray],
+                   ranges: Optional[Sequence] = None) -> np.ndarray:
     """Permutation equal to ``np.lexsort(keys)`` (least-significant first).
 
-    Fast path: pack the integer columns into one int64 mixed-radix scalar --
+    Fast path: pack the integer columns into one mixed-radix scalar --
     strictly monotone in the lexicographic order, equal exactly on full-key
     ties -- and run a single stable argsort, one sort pass instead of one
     per key.  Falls back to ``np.lexsort`` when a column is non-integer or
     the combined value ranges overflow int64.
+
+    ``ranges`` optionally supplies a known ``(lo, hi)`` value bound per key
+    (aligned with ``keys``, ``None`` entries computed as usual), skipping
+    the per-column min/max reduction scans.  The packed key accumulates in
+    a pooled scratch buffer (no per-column temporaries) and sorts as int32
+    when the combined capacity fits, which roughly halves the bytes the
+    stable argsort touches.  Returned indices use the narrowest safe policy
+    dtype (:mod:`repro.kernels.dtypes`).
     """
     keys = tuple(keys)
     if not keys:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=index_dtype(0))
     n = len(keys[0])
     if n <= 64 or len(keys) == 1:
-        # Packing overhead (per-column min/max + astype) only pays off once
-        # the argsort itself dominates; tiny inputs go straight to lexsort.
-        return np.lexsort(keys)
+        # Packing overhead only pays off once the argsort itself dominates;
+        # tiny inputs go straight to lexsort.
+        return _narrow_perm(np.lexsort(keys), n)
     capacity = 1
     cols = []
-    for k in keys:
+    for pos, k in enumerate(keys):
         k = np.asarray(k)
         if k.dtype.kind not in "iub":
-            return np.lexsort(keys)
-        lo = int(k.min())
-        hi = int(k.max())
+            return _narrow_perm(np.lexsort(keys), n)
+        bound = ranges[pos] if ranges is not None else None
+        if bound is None:
+            lo = int(k.min())
+            hi = int(k.max())
+        else:
+            lo, hi = int(bound[0]), int(bound[1])
         span = hi - lo + 1
         capacity *= span
         # Also bail out when raw values themselves overflow int64 arithmetic.
         if capacity >= (1 << 62) or hi >= (1 << 62) or lo <= -(1 << 62):
-            return np.lexsort(keys)
+            return _narrow_perm(np.lexsort(keys), n)
         cols.append((k, lo, span))
-    packed = np.zeros(n, dtype=np.int64)
+    pool = active_pool()
+    packed = pool.take(n, np.int64)
+    col_buf = None
+    first = True
     for k, lo, span in reversed(cols):  # most-significant column first
-        packed = packed * span + (k.astype(np.int64) - lo)
-    return np.argsort(packed, kind="stable")
+        if first:
+            np.subtract(k, lo, out=packed, casting="unsafe")
+            first = False
+            continue
+        np.multiply(packed, span, out=packed)
+        if col_buf is None:
+            col_buf = pool.take(n, np.int64)
+        np.subtract(k, lo, out=col_buf, casting="unsafe")
+        np.add(packed, col_buf, out=packed)
+    if capacity < (1 << 31):
+        key32 = pool.take(n, np.int32)
+        key32[:] = packed  # values fit by the capacity bound
+        perm = np.argsort(key32, kind="stable")
+        pool.give(key32)
+    else:
+        perm = np.argsort(packed, kind="stable")
+    pool.give(col_buf)
+    pool.give(packed)
+    return _narrow_perm(perm, n)
 
 
 @_instrumented
@@ -228,6 +271,40 @@ def segmented_lookup(
     gpos = hay_offsets[needle_seg] + idx
     found[nz] = valid[nz] & (haystack[gpos[nz]] == np.asarray(needles)[nz])
     return found, idx
+
+
+@_instrumented
+def route_plan(
+    seg_ids: np.ndarray,
+    dests: np.ndarray,
+    n_segments: int,
+    size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused routing plan: gather order plus per-segment destination counts.
+
+    Equivalent to ``packed_lexsort((dests, seg_ids))`` followed by
+    :func:`route_counts` -- the pairing every exchange wrapper performs --
+    but the ``seg * size + dest`` key is built once (in a pooled buffer,
+    int32 when it fits) and reused for both the stable argsort and the
+    bincount.  Requires ``0 <= dests < size`` and ``0 <= seg_ids <
+    n_segments``, which every routing call site guarantees; the fused key
+    is then strictly monotone in ``(segment, destination)`` so the stable
+    argsort equals the two-key lexsort permutation exactly.
+    """
+    n = len(dests)
+    if n == 0:
+        return (np.empty(0, dtype=index_dtype(0)),
+                np.zeros((n_segments, size), dtype=np.int64))
+    pool = active_pool()
+    wide = int(n_segments) * int(size) >= (1 << 31)
+    key = pool.take(n, np.int64 if wide else np.int32)
+    np.multiply(seg_ids, size, out=key, casting="unsafe")
+    np.add(key, dests, out=key, casting="unsafe")
+    counts = np.bincount(key, minlength=n_segments * size)
+    counts = counts.reshape(n_segments, size)
+    order = np.argsort(key, kind="stable")
+    pool.give(key)
+    return _narrow_perm(order, n), counts
 
 
 @_instrumented

@@ -34,6 +34,7 @@ from .metrics import (
 )
 from .export import (
     chrome_trace,
+    kernel_pool_table,
     metrics_to_dict,
     progress_table,
     write_chrome_trace,
@@ -61,6 +62,7 @@ __all__ = [
     "Series",
     "chrome_trace",
     "metrics_to_dict",
+    "kernel_pool_table",
     "progress_table",
     "write_chrome_trace",
     "write_metrics",

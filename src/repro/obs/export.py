@@ -189,6 +189,45 @@ def _fmt(value: Optional[float]) -> str:
     return f"{value:.3g}"
 
 
+def kernel_pool_table(registry: MetricsRegistry, top: int = 10) -> str:
+    """ASCII summary of kernel host time and buffer-pool reuse counters.
+
+    One row per instrumented kernel (``kernel/*`` counters, descending
+    host seconds, top ``top``), followed by a one-line pool summary from
+    the ``pool/*`` counters.  Returns a short notice when the run recorded
+    neither (untraced machines attach no sink).
+    """
+    counters = registry.counters()
+    names = sorted({name.split("/")[1] for name in counters
+                    if name.startswith("kernel/")})
+    lines = []
+    if names:
+        stats = [(n, counters[f"kernel/{n}/calls"].value,
+                  counters[f"kernel/{n}/host_seconds"].value)
+                 for n in names]
+        stats.sort(key=lambda s: -s[2])
+        w = max(len(n) for n, _, _ in stats[:top])
+        lines.append(f"{'kernel'.ljust(w)}  {'calls':>8}  {'host [s]':>9}")
+        lines.append(f"{'-' * w}  {'-' * 8}  {'-' * 9}")
+        for name, calls, secs in stats[:top]:
+            lines.append(f"{name.ljust(w)}  {int(calls):>8}  {secs:>9.4f}")
+    pool_keys = ("pool/hits", "pool/misses", "pool/bytes_reused")
+    if any(k in counters for k in pool_keys):
+        hits = int(counters["pool/hits"].value) if "pool/hits" in counters \
+            else 0
+        misses = int(counters["pool/misses"].value) \
+            if "pool/misses" in counters else 0
+        reused = counters["pool/bytes_reused"].value \
+            if "pool/bytes_reused" in counters else 0.0
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        lines.append(f"buffer pool: {hits} hits / {misses} misses "
+                     f"({rate:.0f}% reuse, {reused / 2**20:.1f} MiB "
+                     f"served from pool)")
+    return "\n".join(lines) if lines else \
+        "(no kernel/pool counters recorded)"
+
+
 def progress_table(registry: MetricsRegistry) -> str:
     """ASCII table of the per-round series (one row per algorithm round).
 

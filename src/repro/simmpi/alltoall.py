@@ -49,8 +49,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..kernels import RaggedArrays, batched_for, route_counts
-from ..kernels.segmented import packed_lexsort
+from ..kernels import RaggedArrays, batched_for, route_plan
+from ..kernels.dtypes import logical_itemsize
 from .collectives import Comm
 
 #: Average-bytes-per-message threshold below which the auto dispatcher picks
@@ -59,10 +59,16 @@ GRID_DISPATCH_THRESHOLD_BYTES = 500.0
 
 
 def _row_nbytes(buf: np.ndarray) -> int:
-    """Bytes per message row of a payload array."""
+    """*Logical* bytes per message row of a payload array.
+
+    Integer elements always count 8 bytes -- the simulated machine's word --
+    so host-side dtype narrowing (repro.kernels.dtypes) never changes a
+    simulated cost, traced byte or sanitizer shadow entry.
+    """
+    item = logical_itemsize(buf.dtype)
     if buf.ndim == 1:
-        return buf.itemsize
-    return buf.itemsize * int(np.prod(buf.shape[1:]))
+        return item
+    return item * int(np.prod(buf.shape[1:]))
 
 
 def _empty_like_rows(template: np.ndarray, n: int = 0) -> np.ndarray:
@@ -93,6 +99,69 @@ def _validate(sendbufs: Sequence[np.ndarray], sendcounts: Sequence[np.ndarray],
     return counts
 
 
+def _gather_order(counts: np.ndarray, total: int
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared gather index transposing (src, dst) cell order to (dst, src).
+
+    The concatenated send buffers are laid out in (src, dst) cell-major
+    order; receivers need (dst, src)-major.  The stable sort by destination
+    is exactly the block transpose of the cell structure, so build the
+    gather index directly in O(rows + size^2) instead of an
+    O(rows log rows) argsort.  Returns the gather order plus per-receiver
+    offsets into the gathered sequence.
+    """
+    size = counts.shape[0]
+    lens = counts.ravel()
+    src_start = np.zeros(size * size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=src_start[1:])
+    cells = np.arange(size * size).reshape(size, size).T.ravel()
+    tlens = lens[cells]
+    dst_start = np.zeros(size * size, dtype=np.int64)
+    np.cumsum(tlens[:-1], out=dst_start[1:])
+    order = np.arange(total) + np.repeat(src_start[cells] - dst_start, tlens)
+    offs = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(counts.sum(axis=0), out=offs[1:])
+    return order, offs
+
+
+def _move_multi(bufs_lists: Sequence[Sequence[np.ndarray]],
+                counts: np.ndarray) -> List[List[np.ndarray]]:
+    """Move several parallel payload lists through one exchange step.
+
+    Every payload list shares the same counts matrix, so the gather order
+    is computed once and reused -- the exchanges that ship rows together
+    with per-row metadata (grid/hypercube routing) pay for one transpose
+    instead of one per payload.
+    """
+    size = counts.shape[0]
+    order = offs = None
+    out: List[List[np.ndarray]] = []
+    for sendbufs in bufs_lists:
+        template = None
+        for b in sendbufs:
+            if isinstance(b, np.ndarray):
+                template = b
+                break
+        assert template is not None
+        big = np.concatenate(
+            [b if isinstance(b, np.ndarray) and b.ndim else np.atleast_1d(b)
+             for b in sendbufs], axis=0)
+        if len(big) == 0:
+            out.append([_empty_like_rows(template) for _ in range(size)])
+            continue
+        if order is None:
+            order, offs = _gather_order(counts, len(big))
+        routed = big[order]
+        big = None  # only the gathered copy is needed from here on
+        # Ranks that receive nothing get a standalone empty array: a
+        # zero-length *slice* would pin the whole routed block in memory
+        # for as long as any receiver keeps its (empty) buffer alive.
+        out.append([routed[offs[j]:offs[j + 1]]
+                    if offs[j + 1] > offs[j] else _empty_like_rows(routed)
+                    for j in range(size)])
+    return out
+
+
 def _move(sendbufs: Sequence[np.ndarray], counts: np.ndarray
           ) -> Tuple[List[np.ndarray], np.ndarray]:
     """Pure data movement for one exchange step (no cost accounting).
@@ -101,35 +170,7 @@ def _move(sendbufs: Sequence[np.ndarray], counts: np.ndarray
     receive buffers (rows source-major, per-pair order preserved) and the
     counts matrix transposed view for receivers.
     """
-    size = counts.shape[0]
-    template = None
-    for b in sendbufs:
-        if isinstance(b, np.ndarray):
-            template = b
-            break
-    assert template is not None
-    big = np.concatenate(
-        [b if isinstance(b, np.ndarray) and b.ndim else np.atleast_1d(b)
-         for b in sendbufs], axis=0)
-    if len(big) == 0:
-        return [_empty_like_rows(template) for _ in range(size)], counts
-    # ``big`` is laid out in (src, dst) cell-major order; receivers need
-    # (dst, src)-major.  The stable sort by destination is exactly the block
-    # transpose of the cell structure, so build the gather index directly in
-    # O(rows + size^2) instead of an O(rows log rows) argsort.
-    lens = counts.ravel()
-    src_start = np.zeros(size * size, dtype=np.int64)
-    np.cumsum(lens[:-1], out=src_start[1:])
-    cells = np.arange(size * size).reshape(size, size).T.ravel()
-    tlens = lens[cells]
-    dst_start = np.zeros(size * size, dtype=np.int64)
-    np.cumsum(tlens[:-1], out=dst_start[1:])
-    order = np.arange(len(big)) + np.repeat(src_start[cells] - dst_start,
-                                            tlens)
-    routed = big[order]
-    offs = np.zeros(size + 1, dtype=np.int64)
-    np.cumsum(counts.sum(axis=0), out=offs[1:])
-    recvbufs = [routed[offs[j]:offs[j + 1]] for j in range(size)]
+    (recvbufs,) = _move_multi((sendbufs,), counts)
     return recvbufs, counts
 
 
@@ -244,7 +285,8 @@ def alltoallv_grid(
         src_of_row = np.repeat(np.arange(size), row_lens)
         dst_of_row = np.repeat(np.tile(np.arange(size), size), counts.ravel())
         t_of_row = T[src_of_row, dst_of_row]
-        order_g = packed_lexsort((t_of_row, src_of_row))
+        # Fused sort+count over the (src, intermediate) routing key.
+        order_g, phase1_counts = route_plan(src_of_row, t_of_row, size, size)
         big = np.concatenate([np.atleast_1d(b) for b in sendbufs], axis=0)
         off = np.zeros(size + 1, dtype=np.int64)
         np.cumsum(row_lens, out=off[1:])
@@ -252,24 +294,23 @@ def alltoallv_grid(
         sorted_dst = dst_of_row[order_g]
         p1_bufs = [sorted_rows[off[i]:off[i + 1]] for i in range(size)]
         p1_dst = [sorted_dst[off[i]:off[i + 1]] for i in range(size)]
-        p1_src = [src_of_row[off[i]:off[i + 1]] for i in range(size)]
-        phase1_counts = route_counts(src_of_row, t_of_row, size, size)
     else:
         phase1_counts = np.zeros((size, size), dtype=np.int64)
         p1_bufs = []
         p1_dst = []
-        p1_src = []
         for i in range(size):
             dst_of_row = np.repeat(np.arange(size), counts[i])
             t_of_row = T[i][dst_of_row] if len(dst_of_row) else dst_of_row
             order = np.argsort(t_of_row, kind="stable")
             p1_bufs.append(np.atleast_1d(sendbufs[i])[order])
             p1_dst.append(dst_of_row[order])
-            p1_src.append(np.full(len(order), i, dtype=np.int64))
             np.add.at(phase1_counts[i], t_of_row, 1)
-    mid_bufs, _ = _move(p1_bufs, phase1_counts)
-    mid_dst, _ = _move(p1_dst, phase1_counts)
-    mid_src, _ = _move(p1_src, phase1_counts)
+    mid_bufs, mid_dst = _move_multi((p1_bufs, p1_dst), phase1_counts)
+    # Received rows are source-major with per-pair order preserved, so each
+    # intermediate's per-row source ranks are derivable from the counts
+    # column -- no need to build and ship a parallel source payload.
+    mid_src = [np.repeat(np.arange(size), phase1_counts[:, t])
+               for t in range(size)]
 
     # Phase-1 cost: an all-to-all within each grid column (group size <= r).
     bytes_out1 = phase1_counts.sum(axis=1).astype(np.float64) * row_bytes
@@ -289,7 +330,7 @@ def alltoallv_grid(
     if batched_for(comm.machine):
         mid_r = RaggedArrays.from_arrays(mid_dst)
         seg = mid_r.segment_ids()
-        order_g = packed_lexsort((mid_r.flat, seg))
+        order_g, phase2_counts = route_plan(seg, mid_r.flat, size, size)
         moff = mid_r.offsets
         big = np.concatenate([np.atleast_1d(b) for b in mid_bufs], axis=0)
         src_flat = np.concatenate(mid_src)
@@ -297,7 +338,6 @@ def alltoallv_grid(
         sorted_src = src_flat[order_g]
         p2_bufs = [sorted_rows[moff[t]:moff[t + 1]] for t in range(size)]
         p2_src = [sorted_src[moff[t]:moff[t + 1]] for t in range(size)]
-        phase2_counts = route_counts(seg, mid_r.flat, size, size)
     else:
         phase2_counts = np.zeros((size, size), dtype=np.int64)
         p2_bufs = []
@@ -308,8 +348,7 @@ def alltoallv_grid(
             p2_bufs.append(mid_bufs[t][order])
             p2_src.append(mid_src[t][order])
             np.add.at(phase2_counts[t], d, 1)
-    out_bufs, _ = _move(p2_bufs, phase2_counts)
-    out_src, _ = _move(p2_src, phase2_counts)
+    out_bufs, out_src = _move_multi((p2_bufs, p2_src), phase2_counts)
 
     group2 = c + (0 if size == c * r else 2)
     bytes_out2 = phase2_counts.sum(axis=1).astype(np.float64) * row_bytes
@@ -337,12 +376,11 @@ def alltoallv_grid(
     if batched_for(comm.machine):
         src_r = RaggedArrays.from_arrays(out_src)
         seg = src_r.segment_ids()
-        order_g = packed_lexsort((src_r.flat, seg))
+        order_g, rc_mat = route_plan(seg, src_r.flat, size, size)
         soff = src_r.offsets
         big = np.concatenate([np.atleast_1d(b) for b in out_bufs], axis=0)
         sorted_rows = np.ascontiguousarray(big[order_g])
         recvbufs = [sorted_rows[soff[j]:soff[j + 1]] for j in range(size)]
-        rc_mat = route_counts(seg, src_r.flat, size, size)
         recvcounts = [rc_mat[j] for j in range(size)]
         return recvbufs, recvcounts
     recvbufs: List[np.ndarray] = []
@@ -521,11 +559,10 @@ def route_rows(
                 f"{dest_r.lengths[i]} destinations"
             )
         seg = rows_r.segment_ids()
-        order_g = packed_lexsort((dest_r.flat, seg))
+        order_g, counts_mat = route_plan(seg, dest_r.flat, size, size)
         off = rows_r.offsets
         sorted_rows = rows_r.flat[order_g]
         sendbufs = [sorted_rows[off[i]:off[i + 1]] for i in range(size)]
-        counts_mat = route_counts(seg, dest_r.flat, size, size)
         sendcounts = [counts_mat[i] for i in range(size)]
         local_order = order_g - np.repeat(off[:-1], rows_r.lengths)
         orders = [local_order[off[i]:off[i + 1]] for i in range(size)]

@@ -27,6 +27,7 @@ from typing import Callable, List, Sequence, Union
 
 import numpy as np
 
+from ..kernels.dtypes import logical_nbytes
 from .machine import Machine
 
 #: Reduction operators accepted by name.
@@ -38,9 +39,16 @@ _OPS: dict[str, Callable] = {
 
 
 def _nbytes(value) -> int:
-    """Communication size in bytes of one per-rank contribution."""
+    """Communication size in *logical* bytes of one per-rank contribution.
+
+    The simulated machine moves 8-byte words for every integer payload
+    regardless of the host storage width (repro.kernels.dtypes narrowing),
+    so integer arrays count ``size * 8`` -- keeping every simulated cost
+    bit-identical between narrow and wide storage.  Floats and bools keep
+    their true width, as they always did.
+    """
     if isinstance(value, np.ndarray):
-        return value.nbytes
+        return logical_nbytes(value)
     if isinstance(value, (list, tuple)):
         return sum(_nbytes(v) for v in value)
     return 8  # scalars travel as one machine word
@@ -210,14 +218,14 @@ class Comm:
 
     def allgatherv(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
         """Concatenate per-rank arrays; every rank receives the concatenation."""
-        total = sum(a.nbytes for a in arrays)
+        total = sum(logical_nbytes(a) for a in arrays)
         cost = self.machine.cost.allgather(self.size, total)
         self._sync_and_charge(cost, op="allgatherv", nbytes=total)
         return np.concatenate([np.atleast_1d(a) for a in arrays])
 
     def gatherv(self, arrays: Sequence[np.ndarray], root: int = 0) -> np.ndarray:
         """Concatenate per-rank arrays at ``root`` (returned; only root holds it)."""
-        total = sum(a.nbytes for a in arrays)
+        total = sum(logical_nbytes(a) for a in arrays)
         cost = self.machine.cost.allgather(self.size, total)
         self._sync_and_charge(cost, op="gatherv", nbytes=total)
         return np.concatenate([np.atleast_1d(a) for a in arrays])

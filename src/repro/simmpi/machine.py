@@ -189,6 +189,16 @@ class Machine:
         else:
             self.events = None
             self.metrics = None
+        from ..kernels.pool import BufferPool, set_active_pool
+
+        #: Per-machine scratch-buffer arena for the batched kernels
+        #: (docs/kernels.md): kernels driven by the most recently created
+        #: machine recycle this machine's blocks, and the whole arena dies
+        #: with the machine instead of accreting in a process-global pool.
+        self.pool = BufferPool()
+        if self.metrics is not None:
+            self.pool.attach_sink(self.metrics)
+        set_active_pool(self.pool)
         if faults is None:
             from ..faults.schedule import faults_env_spec
 
@@ -271,6 +281,7 @@ class Machine:
         self.bytes_communicated = 0.0
         self.n_collectives = 0
         self._rngs.clear()
+        self.pool.clear()
         if self.trace is not None:
             self.trace.reset()
         if self.sanitizer is not None:

@@ -26,7 +26,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from .collectives import Comm
-from .alltoall import _move, _row_nbytes, _validate
+from .alltoall import _move_multi, _row_nbytes, _validate
 
 
 def grid_sides(p: int, d: int) -> List[int]:
@@ -118,9 +118,8 @@ def alltoallv_multilevel(
             dsts.append(held_dst[i][order])
             srcs.append(held_src[i][order])
             np.add.at(hop_counts[i], target[order], 1)
-        new_held, _ = _move(bufs, hop_counts)
-        new_dst, _ = _move(dsts, hop_counts)
-        new_src, _ = _move(srcs, hop_counts)
+        new_held, new_dst, new_src = _move_multi((bufs, dsts, srcs),
+                                                 hop_counts)
         held, held_dst, held_src = new_held, new_dst, new_src
 
         group = sides[k]

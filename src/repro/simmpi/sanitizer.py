@@ -413,7 +413,9 @@ class Sanitizer:
         p = len(parts)
         prev_last = None
         for i, part in enumerate(parts):
-            if not part.is_sorted_lex():
+            # force=True: re-verify even when the part carries a cached
+            # known-sorted flag, so the sanitizer check stays non-vacuous.
+            if not part.is_sorted_lex(force=True):
                 raise SortednessViolation(
                     f"PE {i}: local edge block is not lexicographically "
                     f"sorted after redistribute")

@@ -17,8 +17,14 @@ from ..kernels.segmented import packed_lexsort
 
 
 def as_row_matrix(x: np.ndarray) -> np.ndarray:
-    """Coerce to a 2-D int64 row matrix (1-D input becomes one column)."""
-    x = np.asarray(x, dtype=np.int64)
+    """Coerce to a 2-D integer row matrix (1-D input becomes one column).
+
+    Integer inputs keep their storage dtype (narrowed matrices travel as
+    uint32); anything else is coerced to int64.
+    """
+    x = np.asarray(x)
+    if x.dtype.kind not in "iu":
+        x = x.astype(np.int64)
     if x.ndim == 1:
         return x.reshape(-1, 1)
     if x.ndim != 2:
@@ -37,6 +43,18 @@ def local_lexsort(rows: np.ndarray, n_key_cols: int) -> np.ndarray:
 def local_lexsort_parts(parts: Sequence[np.ndarray],
                         n_key_cols: int, machine=None) -> List[np.ndarray]:
     """Every PE's :func:`local_lexsort` -- one segmented lexsort when batched."""
+    eng = getattr(machine, "engine", None)
+    if eng is not None and eng.fanout:
+        # Pure per-PE sorts fan out to workers; payloads ship narrowed so
+        # the shared-memory segments carry the compact representation.
+        from ..kernels import narrow_payload
+
+        payloads = [None if len(x) <= 1 else
+                    narrow_payload({"rows": x, "n_key_cols": int(n_key_cols)})
+                    for x in parts]
+        results = eng.pe_map("sort_partition", payloads)
+        return [parts[i] if results[i] is None else results[i]["rows"]
+                for i in range(len(parts))]
     if not batched_for(machine):
         return [local_lexsort(x, n_key_cols) for x in parts]
     r = RaggedArrays.from_arrays(parts)
@@ -49,19 +67,24 @@ def local_lexsort_parts(parts: Sequence[np.ndarray],
 
 
 def is_locally_sorted(rows: np.ndarray, n_key_cols: int) -> bool:
-    """Whether one part is sorted by its first ``n_key_cols`` columns."""
+    """Whether one part is sorted by its first ``n_key_cols`` columns.
+
+    Comparison-based on purpose: ``np.diff`` on uint32 columns wraps.
+    """
     if len(rows) <= 1:
         return True
+    tie = None
     for c in range(n_key_cols):
-        d = np.diff(rows[:, c])
+        lo, hi = rows[:-1, c], rows[1:, c]
+        lt = hi < lo
         if c == 0:
-            tie = d == 0
-            if (d < 0).any():
+            if lt.any():
                 return False
+            tie = hi == lo
         else:
-            if (d[tie] < 0).any():
+            if (lt & tie).any():
                 return False
-            tie = tie & (d == 0)
+            tie = tie & (hi == lo)
     return True
 
 

@@ -173,6 +173,55 @@ class TestSharedMemoryTransport:
         payload = {"a": np.arange(8, dtype=np.int64), "flag": False}
         assert payload_nbytes(payload) == 64
 
+    def test_narrowed_payload_roundtrip(self, monkeypatch):
+        """Narrowed payloads ship and unpack with their narrow dtype intact.
+
+        The hot-path fan-outs call ``narrow_payload`` at payload-build time
+        (docs/kernels.md), so the shared-memory transport must carry the
+        ``uint32`` representation -- at half the segment bytes -- and hand
+        workers back the same dtype the driver would compute on inline.
+        """
+        monkeypatch.setenv("REPRO_DTYPES", "narrow")
+        from repro.kernels import narrow_payload
+
+        wide = {
+            "u": np.arange(100, dtype=np.int64),
+            "w": np.array([0, 7, 2**31], dtype=np.int64),
+            "signed": np.array([-1, 3], dtype=np.int64),
+            "n_key_cols": 2,
+        }
+        payload = narrow_payload(wide)
+        assert payload["u"].dtype == np.uint32
+        assert payload["w"].dtype == np.uint32
+        # Negative values cannot narrow; the array rides along unchanged.
+        assert payload["signed"].dtype == np.int64
+        assert payload_nbytes(payload) < payload_nbytes(wide)
+
+        seg, meta, scalars = pack_payload(payload)
+        try:
+            out = unpack_payload(seg.buf, meta, scalars)
+            for key in ("u", "w", "signed"):
+                assert out[key].dtype == payload[key].dtype, key
+                assert np.array_equal(out[key], wide[key]), key
+            assert out["n_key_cols"] == 2
+            del out
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_narrowed_payload_through_workers(self, monkeypatch):
+        """A uint32 payload crossing real worker processes stays uint32."""
+        monkeypatch.setenv("REPRO_DTYPES", "narrow")
+        from repro.kernels import narrow_payload
+
+        payloads = [narrow_payload({"x": np.arange(50, dtype=np.int64)}),
+                    None]
+        assert payloads[0]["x"].dtype == np.uint32
+        with _mp_engine(workers=1) as eng:
+            out = eng.pe_map("_test_engines_echo", payloads)
+        assert np.array_equal(out[0]["x"], np.arange(50) * 2)
+        assert out[1] is None
+
     def test_builtin_tasks_registered(self):
         names = task_names()
         assert "minedges" in names

@@ -143,7 +143,8 @@ class TestGeometric:
     def test_rgg_locality_from_spatial_numbering(self):
         g = gen_rgg2d(2048, avg_degree=12, seed=4)
         # Neighbours should have nearby labels: median id distance small.
-        dist = np.abs(g.edges.u - g.edges.v)
+        # Columns may be stored unsigned; difference needs a signed dtype.
+        dist = np.abs(g.edges.u.astype(np.int64) - g.edges.v.astype(np.int64))
         assert np.median(dist) < g.n_vertices / 8
 
 
@@ -183,8 +184,10 @@ class TestRmat:
     def test_scramble_destroys_locality(self):
         a = gen_rmat(10, 4096, seed=7, scramble=False)
         b = gen_rmat(10, 4096, seed=7, scramble=True)
-        da = np.median(np.abs(a.edges.u - a.edges.v))
-        db = np.median(np.abs(b.edges.u - b.edges.v))
+        da = np.median(np.abs(a.edges.u.astype(np.int64)
+                              - a.edges.v.astype(np.int64)))
+        db = np.median(np.abs(b.edges.u.astype(np.int64)
+                              - b.edges.v.astype(np.int64)))
         assert db > da
 
 

@@ -350,6 +350,34 @@ class TestEmptySegmentEdgeCases:
         assert r.to_arrays() == []
         assert r.segment_ids().size == 0
 
+    def test_from_arrays_honors_caller_dtype(self):
+        """An explicit dtype wins over numpy's concatenation promotion."""
+        parts = [np.array([1, 2], dtype=np.int64),
+                 np.array([3], dtype=np.int64)]
+        r = RaggedArrays.from_arrays(parts, dtype=np.uint32)
+        assert r.flat.dtype == np.uint32
+        assert r.to_arrays()[0].tolist() == [1, 2]
+        # Widening works too (differential wide mode rebuilds int64).
+        w = RaggedArrays.from_arrays(
+            [np.array([7], dtype=np.uint32)], dtype=np.int64)
+        assert w.flat.dtype == np.int64
+        # Empty input lists take the requested dtype instead of int64 --
+        # otherwise an all-empty PE set re-promotes downstream concats.
+        e = RaggedArrays.from_arrays([], dtype=np.uint32)
+        assert e.flat.dtype == np.uint32
+        # Mixed-dtype parts no longer promote when the caller pins narrow.
+        m = RaggedArrays.from_arrays(
+            [np.array([1], dtype=np.uint32), np.empty(0, dtype=np.int64)],
+            dtype=np.uint32)
+        assert m.flat.dtype == np.uint32
+
+    def test_from_arrays_default_keeps_input_dtype(self):
+        """Without an explicit dtype, same-dtype inputs stay untouched."""
+        r = RaggedArrays.from_arrays(
+            [np.array([1, 2], dtype=np.uint32),
+             np.array([3], dtype=np.uint32)])
+        assert r.flat.dtype == np.uint32
+
 
 # ---------------------------------------------------------------------------
 # Differential: the two engines must be simulated-behavior identical.
