@@ -108,7 +108,7 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--algo", "--algorithm", dest="algorithm",
                    default="boruvka",
                    help="boruvka | filter-boruvka | awerbuch-shiloach | "
-                        "mnd-mst")
+                        "mnd-mst | dist-prim | dist-kruskal")
     p.add_argument("--procs", type=int, default=8)
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--family", choices=_families(), default="GNM",
@@ -125,10 +125,13 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
                    choices=["inprocess", "batched", "multiprocess"],
                    help="execution engine (default: REPRO_ENGINE, "
                         "see docs/engines.md)")
-    p.add_argument("--trace-out", default="profile.trace.json",
-                   help="Chrome/Perfetto trace JSON output path")
-    p.add_argument("--metrics-out", default="profile.metrics.json",
-                   help="metrics JSON output path")
+    p.add_argument("--trace-out", default=None,
+                   help="Chrome/Perfetto trace JSON output path (default: "
+                        "profile.trace.json under $REPRO_TRACE_DIR, which "
+                        "itself defaults to ./traces)")
+    p.add_argument("--metrics-out", default=None,
+                   help="metrics JSON output path (default: "
+                        "profile.metrics.json under $REPRO_TRACE_DIR)")
     p.add_argument("--simsan", action="store_true",
                    help="run under the runtime invariant sanitizer")
 
@@ -141,7 +144,10 @@ def _add_faults(sub: argparse._SubParsersAction) -> None:
                    help="instance .npz (default: a generated instance)")
     p.add_argument("--algo", "--algorithm", dest="algorithm",
                    default="boruvka",
-                   help="boruvka | filter-boruvka")
+                   help="any round-looped algorithm: boruvka | "
+                        "filter-boruvka | awerbuch-shiloach | mnd-mst | "
+                        "dist-prim (dist-kruskal refuses fail-stop "
+                        "schedules -- its merge tree cannot replay)")
     p.add_argument("--schedule", default="seed=0,pe_fail=0.05,msg_drop=0.01,"
                                          "corrupt=0.05,straggle=0.02",
                    help="fault spec string (grammar in docs/faults.md)")
@@ -335,8 +341,19 @@ def _cmd_profile(args) -> int:
                                      config=config)
     meta = {"instance": g.name, "algorithm": result.algorithm,
             "procs": args.procs, "threads": args.threads}
-    write_chrome_trace(machine.events, args.trace_out, metadata=meta)
-    write_metrics(machine.metrics, args.metrics_out)
+    # Default outputs live under REPRO_TRACE_DIR (./traces), not the CWD:
+    # profile artifacts are run products, not repository content.
+    trace_dir = os.environ.get("REPRO_TRACE_DIR", "traces")
+    trace_out = args.trace_out or os.path.join(trace_dir,
+                                               "profile.trace.json")
+    metrics_out = args.metrics_out or os.path.join(trace_dir,
+                                                   "profile.metrics.json")
+    for path in (trace_out, metrics_out):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    write_chrome_trace(machine.events, trace_out, metadata=meta)
+    write_metrics(machine.metrics, metrics_out)
     problems = validate_chrome_trace(chrome_trace(machine.events, meta))
     print(f"instance        : {g.name} (n={g.n_vertices}, "
           f"m={g.n_undirected_edges})")
@@ -346,9 +363,9 @@ def _cmd_profile(args) -> int:
     print(f"simulated time  : {result.elapsed * 1e3:.4f} ms")
     print(f"events recorded : {len(machine.events)} "
           f"({machine.events.dropped} dropped)")
-    print(f"trace           : {args.trace_out} "
+    print(f"trace           : {trace_out} "
           f"({'valid' if not problems else 'INVALID'})")
-    print(f"metrics         : {args.metrics_out}")
+    print(f"metrics         : {metrics_out}")
     print()
     print(progress_table(machine.metrics))
     print()

@@ -35,13 +35,13 @@ import numpy as np
 from ..dgraph.dist_graph import DistGraph
 from ..kernels import RaggedArrays, batched_for, segmented_unique
 from ..kernels.pool import active_pool
-from ..obs.hooks import observe_round_end, observe_round_start
 from ..kernels.segmented import packed_lexsort
 from ..simmpi.alltoall import route_rows, unsort
 from ..simmpi.collectives import Comm
 from ..utils.partition import owner_of
 from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
 from ..core.config import BoruvkaConfig
+from ..core.rounds import RoundBody, RoundScheduler, RoundStats
 from ..core.state import MSTRun
 from ..seq.boruvka import pseudo_tree_roots
 
@@ -57,60 +57,83 @@ from ..seq.boruvka import pseudo_tree_roots
 SPARSE_KERNEL_SECONDS_PER_EDGE = 1.5e-6
 
 
-def awerbuch_shiloach_msf(
-    graph: DistGraph,
-    cfg: Optional[BoruvkaConfig] = None,
-) -> MSTResult:
-    """Compute the MSF with the sparseMatrix/Awerbuch-Shiloach approach."""
-    machine = graph.machine
-    p = machine.n_procs
-    cfg = cfg or BoruvkaConfig(alltoall="direct")
-    run = MSTRun(machine, cfg)
-    comm = run.comm
-    snapshot = InputSnapshot.take(graph)
+class AwerbuchShiloachRoundBody(RoundBody):
+    """One hook-and-shortcut iteration over the full (fixed) edge set.
 
-    # Vertex-label space; the parent vector f is block-distributed.
-    max_label = comm.allreduce(
-        [int(part.u.max()) if len(part) else -1 for part in graph.parts],
-        op="max")
-    n = max_label + 1
-    if n == 0:
-        return _empty_result(machine, run, snapshot)
-    f_blocks = _identity_blocks(n, p)
+    Convergence is detected *inside* the round -- the candidate allreduce
+    reports no alive edge -- so the detection iteration performs real
+    ``as_resolve`` work plus a collective and counts as a round (the
+    scheduler's canonical convention; the pre-scheduler driver ``break``-ed
+    before counting it, undercounting versus the Borůvka drivers).
 
-    # 2D-grid model constants for the per-iteration algebra collectives.
-    grid_c = max(1, int(math.isqrt(p)))
-    row_vec_bytes = 8.0 * n / grid_c
+    Fail-stop recovery snapshots the block-distributed parent vector
+    ``f`` through :class:`~repro.faults.recovery.ArrayCheckpoint` -- the
+    edge blocks are immutable for the whole run, so the parent blocks
+    (plus the scheduler-managed MST records and RNG streams) are the
+    entire replayable state.
+    """
 
-    # Edge blocks stay fixed for the whole run (no contraction!) and are
-    # never written, so plain views of the partition suffice -- copying
-    # them would double the resident edge footprint for the entire run.
-    eu = [part.u for part in graph.parts]
-    ev = [part.v for part in graph.parts]
-    ew = [part.w for part in graph.parts]
-    eid = [part.id for part in graph.parts]
+    label = "awerbuch_shiloach"
+    divergence_error = "Awerbuch-Shiloach failed to converge"
 
-    # Candidate-row dtype for the hook exchange: every column (component
-    # labels < n, weights, edge ids) must fit, and every PE must agree so
-    # the routed blocks concatenate without promotion.
-    cand_dt = np.result_type(
-        f_blocks[0].dtype,
-        *([a.dtype for a in ew + eid if len(a)] or [np.int64]))
+    def __init__(self, graph: DistGraph, run: MSTRun, n: int):
+        machine = graph.machine
+        p = machine.n_procs
+        self.machine = machine
+        self.run = run
+        self.comm = run.comm
+        self.cfg = run.cfg
+        self.n = n
+        self.p = p
+        self.f_blocks = _identity_blocks(n, p)
 
-    total_edges = sum(len(x) for x in eu)
-    for iteration in range(cfg.max_rounds):
+        # 2D-grid model constants for the per-iteration algebra collectives.
+        self.grid_c = max(1, int(math.isqrt(p)))
+        self.row_vec_bytes = 8.0 * n / self.grid_c
+
+        # Edge blocks stay fixed for the whole run (no contraction!) and
+        # are never written, so plain views of the partition suffice --
+        # copying them would double the resident edge footprint for the
+        # entire run.
+        self.eu = [part.u for part in graph.parts]
+        self.ev = [part.v for part in graph.parts]
+        self.ew = [part.w for part in graph.parts]
+        self.eid = [part.id for part in graph.parts]
+
+        # Candidate-row dtype for the hook exchange: every column
+        # (component labels < n, weights, edge ids) must fit, and every PE
+        # must agree so the routed blocks concatenate without promotion.
+        self.cand_dt = np.result_type(
+            self.f_blocks[0].dtype,
+            *([a.dtype for a in self.ew + self.eid if len(a)]
+              or [np.int64]))
+        self.total_edges = sum(len(x) for x in self.eu)
+
+    def prologue(self, round_no: int) -> RoundStats:
+        """Never terminates pre-round; stats come from host-known sizes."""
         # The fixed undirected edge set and vertex universe are known
-        # host-side, so the round hook costs no collectives.
-        observe_round_start(machine, iteration, n, total_edges)
+        # host-side, so the pre-round check costs no collectives and the
+        # loop never terminates here -- convergence is the in-round
+        # zero-alive-edges allreduce.
+        return RoundStats(self.n, self.total_edges)
+
+    def round(self, round_no: int) -> bool:
+        """One hook-and-shortcut iteration; True when no edge is alive."""
+        machine, comm, run, cfg = self.machine, self.comm, self.run, self.cfg
+        n, p = self.n, self.p
+        f_blocks = self.f_blocks
+        eu, ev, ew, eid = self.eu, self.ev, self.ew, self.eid
         # Resident footprint: the edge block plus the intermediate tensor
         # buffers of the algebra formulation, plus the per-row/column vertex
         # vectors of the 2D distribution.
         machine.check_memory(np.array(
-            [len(eu[i]) * 32.0 * 3 + row_vec_bytes * 4 for i in range(p)]))
+            [len(eu[i]) * 32.0 * 3 + self.row_vec_bytes * 4
+             for i in range(p)]))
         # ---- Matrix-formulation overhead: row/column vector collectives
         # and the extra sparse-kernel passes over the full edge block. ----
         machine.charge(np.full(
-            p, 2 * machine.cost.collective_tree(grid_c, row_vec_bytes)))
+            p, 2 * machine.cost.collective_tree(self.grid_c,
+                                                self.row_vec_bytes)))
         machine.charge(np.array(
             [len(eu[i]) * SPARSE_KERNEL_SECONDS_PER_EDGE for i in range(p)],
             dtype=np.float64) / machine.cost.effective_threads(
@@ -131,7 +154,7 @@ def awerbuch_shiloach_msf(
                 alive_total += int(alive.sum())
                 machine.charge_scan(np.array([len(a)]), ranks=np.array([i]))
                 if not alive.any():
-                    cand_rows.append(np.empty((0, 6), dtype=cand_dt))
+                    cand_rows.append(np.empty((0, 6), dtype=self.cand_dt))
                     cand_dests.append(np.empty(0, dtype=np.int64))
                     continue
                 aa, bb = a[alive], b[alive]
@@ -144,7 +167,7 @@ def awerbuch_shiloach_msf(
                 cu = np.minimum(grp, oth)
                 cv = np.maximum(grp, oth)
                 groups, pick = _group_min(grp, w2, cu, cv, n)
-                rows = np.empty((len(groups), 6), dtype=cand_dt)
+                rows = np.empty((len(groups), 6), dtype=self.cand_dt)
                 rows[:, 0] = groups
                 rows[:, 1] = w2[pick]
                 rows[:, 2] = cu[pick]
@@ -157,8 +180,7 @@ def awerbuch_shiloach_msf(
             alive_total = comm.allreduce(
                 [int(x) for x in _per_pe(alive_total, p)])
             if alive_total == 0:
-                observe_round_end(machine, iteration)
-                break
+                return True  # converged: the detection round still counts
             recv, _, _ = route_rows(comm, cand_rows, cand_dests,
                                     method=cfg.alltoall)
             del cand_rows, cand_dests
@@ -205,10 +227,45 @@ def awerbuch_shiloach_msf(
         # ---- Shortcut: pointer jumping until the forest is a star set. ----
         with machine.phase("as_shortcut"):
             _shortcut(comm, f_blocks, n, cfg.alltoall, machine)
-        observe_round_end(machine, iteration)
-        run.rounds += 1
-    else:
-        raise RuntimeError("Awerbuch-Shiloach failed to converge")
+        return False
+
+    # -- CheckpointableState ------------------------------------------
+    def checkpoint_state(self) -> "AwerbuchShiloachRoundBody":
+        """The parent-pointer blocks are always replayable."""
+        return self
+
+    def take(self, run: MSTRun):
+        """Buddy-replicate the parent-pointer blocks (ArrayCheckpoint)."""
+        from ..faults.recovery import ArrayCheckpoint
+
+        def reinstate(blocks):
+            self.f_blocks = [blk[0] for blk in blocks]
+
+        return ArrayCheckpoint.take(run, [[blk] for blk in self.f_blocks],
+                                    reinstate)
+
+
+def awerbuch_shiloach_msf(
+    graph: DistGraph,
+    cfg: Optional[BoruvkaConfig] = None,
+) -> MSTResult:
+    """Compute the MSF with the sparseMatrix/Awerbuch-Shiloach approach."""
+    machine = graph.machine
+    cfg = cfg or BoruvkaConfig(alltoall="direct")
+    run = MSTRun(machine, cfg)
+    comm = run.comm
+    snapshot = InputSnapshot.take(graph)
+
+    # Vertex-label space; the parent vector f is block-distributed.
+    max_label = comm.allreduce(
+        [int(part.u.max()) if len(part) else -1 for part in graph.parts],
+        op="max")
+    n = max_label + 1
+    if n == 0:
+        return _empty_result(machine, run, snapshot)
+
+    body = AwerbuchShiloachRoundBody(graph, run, n)
+    RoundScheduler(run, cfg.max_rounds).run_rounds(body)
 
     with machine.phase("mst_output"):
         msf_parts = redistribute_mst(run, snapshot)

@@ -38,6 +38,7 @@ from ..dgraph.edges import Edges
 from ..simmpi.alltoall import route_rows
 from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
 from ..core.config import BoruvkaConfig
+from ..core.rounds import UnsupportedFaultSchedule
 from ..core.state import MSTRun
 from ..seq.union_find import UnionFind
 
@@ -48,6 +49,17 @@ def dist_kruskal(
 ) -> MSTResult:
     """Compute the MSF with the replicated-vertex merge-tree Kruskal."""
     machine = graph.machine
+    # The merge tree is not a checkpointable round loop (senders destroy
+    # their forests as they ship them), so fail-stop schedules cannot be
+    # recovered -- refuse them up front instead of silently not recovering
+    # (the same contract the RoundScheduler enforces for round bodies
+    # without a CheckpointableState).
+    fi = machine.faults
+    if fi is not None and fi.protects_rounds:
+        raise UnsupportedFaultSchedule(
+            f"fault schedule {fi.schedule!r} can fail-stop PEs but "
+            "dist-kruskal's merge tree does not support checkpoint/replay; "
+            "run it without pe_fail events")
     p = machine.n_procs
     cfg = cfg or BoruvkaConfig(alltoall="direct")
     run = MSTRun(machine, cfg)

@@ -33,6 +33,7 @@ from ..kernels.segmented import packed_lexsort
 from ..dgraph.dist_graph import DistGraph
 from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
 from ..core.config import BoruvkaConfig
+from ..core.rounds import RoundBody, RoundScheduler, RoundStats
 from ..core.state import MSTRun
 
 #: Candidate sentinel: (weight, cu, cv, id, endpoint) with infinite weight.
@@ -42,6 +43,106 @@ _INF = np.int64(1) << 62
 def _min_candidate(a, b):
     """Lexicographic minimum of two candidate tuples (allreduce operator)."""
     return min(a, b)
+
+
+class PrimRoundBody(RoundBody):
+    """One tree-growth step: block scans plus the winner allreduce.
+
+    The pre-scheduler driver nested a per-component ``while True`` inside
+    the start-vertex sweep; here the sweep is flattened into the prologue
+    (the in-tree flags are replicated and the restart search is pure host
+    logic, so advancing to the next component issues no collectives) and
+    each candidate allreduce is one scheduler round.  The round that
+    discovers a finished component (all-infinite candidates) scanned every
+    block and ran the collective, so it counts -- the same convention as
+    Awerbuch-Shiloach's detection iteration.
+
+    Fail-stop recovery snapshots the replicated in-tree flag vector (one
+    copy per PE -- the state really is replicated) plus, via the restore
+    closure, the host-side sweep cursor and in-component flag.
+    """
+
+    label = "dist_prim"
+    divergence_error = "distributed Prim failed to terminate"
+
+    def __init__(self, graph: DistGraph, run: MSTRun,
+                 eu: List[np.ndarray], ev: List[np.ndarray], n: int):
+        self.graph = graph
+        self.run = run
+        self.machine = graph.machine
+        self.eu = eu
+        self.ev = ev
+        self.n = n
+        self.in_tree = np.zeros(n, dtype=bool)  # replicated
+        self.cursor = 0          # next start-vertex candidate to try
+        self.in_component = False
+        self.total_edges = sum(len(q) for q in graph.parts)
+
+    def prologue(self, round_no: int) -> Optional[RoundStats]:
+        """Advance the component sweep; done when every vertex is visited."""
+        if not self.in_component:
+            while self.cursor < self.n and self.in_tree[self.cursor]:
+                self.cursor += 1
+            if self.cursor >= self.n:
+                return None
+            self.in_tree[self.cursor] = True
+            self.in_component = True
+        # Replicated flags are host-visible: the stats cost no collectives.
+        return RoundStats(self.n - int(self.in_tree.sum()), self.total_edges)
+
+    def round(self, round_no: int) -> bool:
+        """Scan every block, allreduce the winner, grow the tree by one."""
+        machine, run = self.machine, self.run
+        p = machine.n_procs
+        in_tree, eu, ev = self.in_tree, self.eu, self.ev
+        # Each PE's best frontier-crossing edge.
+        candidates = []
+        for i in range(p):
+            part = self.graph.parts[i]
+            machine.charge_scan(np.array([len(part)]),
+                                ranks=np.array([i]))
+            if len(part) == 0:
+                candidates.append((int(_INF), 0, 0, 0, 0))
+                continue
+            crossing = in_tree[eu[i]] & ~in_tree[ev[i]]
+            if not crossing.any():
+                candidates.append((int(_INF), 0, 0, 0, 0))
+                continue
+            cu = np.minimum(eu[i], ev[i])
+            cv = np.maximum(eu[i], ev[i])
+            idx = np.flatnonzero(crossing)
+            order = packed_lexsort((cv[idx], cu[idx], part.w[idx]))
+            k = idx[order[0]]
+            candidates.append((int(part.w[k]), int(cu[k]), int(cv[k]),
+                               int(part.id[k]), int(ev[i][k])))
+        best = run.comm.allreduce(candidates, op=_min_candidate)
+        if best[0] >= _INF:
+            self.in_component = False  # component finished
+            return False
+        w, _, _, eid, endpoint = best
+        in_tree[endpoint] = True
+        run.record_mst(0, np.array([eid]), np.array([w]))
+        return False  # convergence is the prologue's sweep exhausting
+
+    # -- CheckpointableState ------------------------------------------
+    def checkpoint_state(self) -> "PrimRoundBody":
+        """The replicated in-tree flags (plus host cursor) are replayable."""
+        return self
+
+    def take(self, run: MSTRun):
+        """Buddy-replicate the in-tree flags; closure keeps the cursor."""
+        from ..faults.recovery import ArrayCheckpoint
+
+        cursor, in_component = self.cursor, self.in_component
+
+        def reinstate(blocks):
+            self.in_tree = blocks[0][0]
+            self.cursor = cursor
+            self.in_component = in_component
+
+        p = self.machine.n_procs
+        return ArrayCheckpoint.take(run, [[self.in_tree] for _ in range(p)],
+                                    reinstate)
 
 
 def dist_prim(
@@ -69,42 +170,8 @@ def dist_prim(
     eu = [np.searchsorted(vlabels, q.u) for q in graph.parts]
     ev = [np.searchsorted(vlabels, q.v) for q in graph.parts]
 
-    in_tree = np.zeros(n, dtype=bool)  # replicated
-    visited_rounds = 0
-    for start in range(n):
-        if in_tree[start]:
-            continue
-        in_tree[start] = True
-        while True:
-            visited_rounds += 1
-            if visited_rounds > 4 * n:
-                raise RuntimeError("distributed Prim failed to terminate")
-            # Each PE's best frontier-crossing edge.
-            candidates = []
-            for i in range(p):
-                part = graph.parts[i]
-                machine.charge_scan(np.array([len(part)]),
-                                    ranks=np.array([i]))
-                if len(part) == 0:
-                    candidates.append((int(_INF), 0, 0, 0, 0))
-                    continue
-                crossing = in_tree[eu[i]] & ~in_tree[ev[i]]
-                if not crossing.any():
-                    candidates.append((int(_INF), 0, 0, 0, 0))
-                    continue
-                cu = np.minimum(eu[i], ev[i])
-                cv = np.maximum(eu[i], ev[i])
-                idx = np.flatnonzero(crossing)
-                order = packed_lexsort((cv[idx], cu[idx], part.w[idx]))
-                k = idx[order[0]]
-                candidates.append((int(part.w[k]), int(cu[k]), int(cv[k]),
-                                   int(part.id[k]), int(ev[i][k])))
-            best = comm.allreduce(candidates, op=_min_candidate)
-            if best[0] >= _INF:
-                break  # component finished
-            w, _, _, eid, endpoint = best
-            in_tree[endpoint] = True
-            run.record_mst(0, np.array([eid]), np.array([w]))
+    body = PrimRoundBody(graph, run, eu, ev, n)
+    RoundScheduler(run, 4 * n).run_rounds(body)
     return _result(machine, run, snapshot, comm)
 
 

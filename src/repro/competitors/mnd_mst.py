@@ -37,12 +37,15 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
-from ..obs.hooks import observe_round_end, observe_round_start
 from ..simmpi.alltoall import route_rows
 from ..core.boruvka import InputSnapshot, MSTResult, redistribute_mst
 from ..core.config import BoruvkaConfig
 from ..core.local_preprocessing import _contract_one_pe
+from ..core.rounds import RoundBody, RoundScheduler, RoundStats
 from ..core.state import MSTRun
+
+#: Merge-hierarchy levels before the scheduler declares divergence.
+MAX_LEVELS = 64
 
 #: PEs per merge group (the paper's competitor uses fixed-size groups).
 GROUP_SIZE = 8
@@ -95,45 +98,53 @@ class _VertexMap:
         raise RuntimeError("vertex-map chain resolution failed to converge")
 
 
-def mnd_mst(
-    graph: DistGraph,
-    cfg: Optional[BoruvkaConfig] = None,
-    group_size: int = GROUP_SIZE,
-) -> MSTResult:
-    """Compute the MSF with the MND-MST scheme."""
-    machine = graph.machine
-    p = machine.n_procs
-    cfg = cfg or BoruvkaConfig(alltoall="direct")
-    run = MSTRun(machine, cfg)
-    comm = run.comm
-    snapshot = InputSnapshot.take(graph)
+class MndMergeRoundBody(RoundBody):
+    """One merge-hierarchy level: groups ship graphs + maps to leaders.
 
-    # ---- Input preparation: eliminate shared vertices (Section VII). ----
-    parts = _unshare(graph, run)
-    vmaps = [_VertexMap() for _ in range(p)]
+    The canonical zero-based round id (``run.rounds``) replaces the old
+    driver's ``level - 1`` arithmetic; the reported round count is the
+    number of merge levels, exactly as before.
 
-    # ---- Level 0: local contraction on every PE. ----
-    with machine.phase("mnd_local"):
-        for i in range(p):
-            parts[i] = _contract_local(parts[i], i, machine, run, vmaps[i])
+    Fail-stop recovery snapshots every PE's remaining subgraph, its
+    accumulated contraction map and (host-side, via the restore closure)
+    the active-PE list -- the complete level input -- through
+    :class:`~repro.faults.recovery.ArrayCheckpoint`.
+    """
 
-    # ---- Merge hierarchy: groups ship graphs + maps to leaders. ----
-    active = list(range(p))
-    level = 0
-    while len(active) > 1:
-        level += 1
-        if level > 64:
-            raise RuntimeError("MND-MST merge hierarchy failed to terminate")
-        # Remaining per-PE contracted subgraphs are host-visible; the hook
-        # reuses them without issuing collectives.
-        observe_round_start(machine, level - 1, len(active),
-                            sum(len(parts[i]) for i in active))
-        leaders = active[::group_size]
+    label = "mnd_mst"
+    divergence_error = "MND-MST merge hierarchy failed to terminate"
+
+    def __init__(self, run: MSTRun, parts: List[Edges],
+                 vmaps: List["_VertexMap"], group_size: int):
+        self.run = run
+        self.machine = run.machine
+        self.parts = parts
+        self.vmaps = vmaps
+        self.group_size = group_size
+        self.active = list(range(run.machine.n_procs))
+
+    def prologue(self, round_no: int) -> Optional[RoundStats]:
+        """Done when one active PE remains; stats are host-visible."""
+        # The active-PE list and the remaining per-PE contracted subgraphs
+        # are host-visible, so the pre-round check and the hook stats cost
+        # no collectives.
+        if len(self.active) <= 1:
+            return None
+        return RoundStats(len(self.active),
+                          sum(len(self.parts[i]) for i in self.active))
+
+    def round(self, round_no: int) -> bool:
+        """Ship group subgraphs + maps to leaders; leaders re-contract."""
+        machine, run = self.machine, self.run
+        comm, cfg = run.comm, run.cfg
+        p = machine.n_procs
+        parts, vmaps, active = self.parts, self.vmaps, self.active
+        leaders = active[::self.group_size]
         rows, dests = [], []
         map_rows, map_dests = [], []
         for i in range(p):
             if i in active and i not in leaders:
-                leader = leaders[active.index(i) // group_size]
+                leader = leaders[active.index(i) // self.group_size]
                 rows.append(parts[i].as_matrix())
                 dests.append(np.full(len(parts[i]), leader, dtype=np.int64))
                 mr = vmaps[i].rows()
@@ -179,11 +190,62 @@ def mnd_mst(
                 parts[leader] = _contract_local(merged, leader, machine,
                                                 run, vmaps[leader])
             machine.check_memory(mem)
-        observe_round_end(machine, level - 1)
-        active = leaders
+        self.active = leaders
+        return False  # convergence is the prologue's active-count check
 
-    final = active[0]
-    if len(parts[final]):
+    # -- CheckpointableState ------------------------------------------
+    def checkpoint_state(self) -> "MndMergeRoundBody":
+        """Subgraphs, contraction maps and the active list are replayable."""
+        return self
+
+    def take(self, run: MSTRun):
+        """Buddy-replicate subgraphs + maps; closure keeps the active list."""
+        from ..faults.recovery import ArrayCheckpoint
+
+        active = list(self.active)
+
+        def reinstate(blocks):
+            for i, blk in enumerate(blocks):
+                u, v, w, ids, keys, vals = blk
+                self.parts[i] = Edges(u, v, w, ids)
+                vmap = _VertexMap()
+                vmap.keys, vmap.vals = keys, vals
+                self.vmaps[i] = vmap
+            self.active = list(active)
+
+        blocks = [[part.u, part.v, part.w, part.id, vmap.keys, vmap.vals]
+                  for part, vmap in zip(self.parts, self.vmaps)]
+        return ArrayCheckpoint.take(run, blocks, reinstate)
+
+
+def mnd_mst(
+    graph: DistGraph,
+    cfg: Optional[BoruvkaConfig] = None,
+    group_size: int = GROUP_SIZE,
+) -> MSTResult:
+    """Compute the MSF with the MND-MST scheme."""
+    machine = graph.machine
+    p = machine.n_procs
+    cfg = cfg or BoruvkaConfig(alltoall="direct")
+    run = MSTRun(machine, cfg)
+    comm = run.comm
+    snapshot = InputSnapshot.take(graph)
+
+    # ---- Input preparation: eliminate shared vertices (Section VII). ----
+    parts = _unshare(graph, run)
+    vmaps = [_VertexMap() for _ in range(p)]
+
+    # ---- Level 0: local contraction on every PE. ----
+    with machine.phase("mnd_local"):
+        for i in range(p):
+            parts[i] = _contract_local(parts[i], i, machine, run, vmaps[i])
+
+    # ---- Merge hierarchy: groups ship graphs + maps to leaders. ----
+    body = MndMergeRoundBody(run, parts, vmaps, group_size)
+    levels = RoundScheduler(run, MAX_LEVELS).run_rounds(body)
+
+    final = body.active[0]
+    if len(body.parts[final]):
         raise RuntimeError("MND-MST finished with uncontracted edges")
 
     with machine.phase("mst_output"):
@@ -195,7 +257,7 @@ def mnd_mst(
         total_weight=total,
         elapsed=machine.elapsed(),
         phase_times=dict(machine.phase_times),
-        rounds=level,
+        rounds=levels,
         algorithm="MND-MST",
         stats={"bytes_communicated": machine.bytes_communicated,
                "n_collectives": machine.n_collectives},

@@ -10,6 +10,13 @@ from .redistribute import redistribute
 from .base_case import base_case
 from .local_preprocessing import local_preprocessing
 from .plabels import DistributedLabelArray
+from .rounds import (
+    CheckpointableState,
+    RoundBody,
+    RoundScheduler,
+    RoundStats,
+    UnsupportedFaultSchedule,
+)
 from .boruvka import (
     InputSnapshot,
     MSTResult,
@@ -37,6 +44,11 @@ __all__ = [
     "base_case",
     "local_preprocessing",
     "DistributedLabelArray",
+    "CheckpointableState",
+    "RoundBody",
+    "RoundScheduler",
+    "RoundStats",
+    "UnsupportedFaultSchedule",
     "InputSnapshot",
     "MSTResult",
     "boruvka_rounds",

@@ -24,7 +24,6 @@ import numpy as np
 
 from ..dgraph.dist_graph import DistGraph
 from ..dgraph.edges import Edges
-from ..obs.hooks import observe_round_end, observe_round_start
 from ..simmpi.alltoall import route_rows
 from ..utils.varint import CompressedEdgeList
 from .base_case import base_case
@@ -34,6 +33,7 @@ from .labels import exchange_labels, relabel
 from .local_preprocessing import local_preprocessing
 from .minedges import min_edges
 from .redistribute import redistribute
+from .rounds import RoundBody, RoundScheduler, RoundStats
 from .state import MSTRun
 
 
@@ -103,47 +103,45 @@ def global_vertex_count(graph: DistGraph, run: MSTRun) -> int:
     return int(total - graph.shared_first.sum())
 
 
-def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
-    """The distributed Borůvka main loop (without preprocessing/base case).
+class BoruvkaRoundBody(RoundBody):
+    """One distributed Borůvka round (MINEDGES ... REDISTRIBUTE).
 
-    When a fault injector with fail-stop events is attached
-    (``machine.faults``, see docs/faults.md), every round is bracketed by
-    a :class:`~repro.faults.RoundCheckpoint`: the round input is
-    replicated to buddy PEs before the round, a failure heartbeat is
-    polled at the round barrier, and on a fail-stop the checkpoint is
-    restored and the round replayed -- with the RNG streams rolled back,
-    so the replay recomputes exactly the same contraction (the
-    bit-identical-MST recovery invariant).  Replays do not consume
-    ``max_rounds`` budget; they are bounded by the schedule's
-    ``max_replays`` instead.
+    Also the reference :class:`~repro.core.rounds.CheckpointableState`
+    implementation: ``take`` snapshots the current graph through
+    :class:`~repro.faults.recovery.RoundCheckpoint` (buddy-replicated
+    edge blocks + MST-record lengths + RNG streams), and a restore swaps
+    the rebuilt graph back in for the replay.
     """
-    machine = graph.machine
-    cfg = run.cfg
-    fi = machine.faults
-    # "By choosing the size threshold >= p, we take into account that up to
-    # p-1 shared vertices are not contracted in our distributed Borůvka
-    # rounds" (Section IV) -- below p the loop could stall on a remainder of
-    # shared vertices, so p is enforced as a floor.
-    threshold = max(cfg.base_case_factor * machine.n_procs,
-                    cfg.base_case_min, machine.n_procs)
-    rounds_done = 0
-    while rounds_done < cfg.max_rounds:
-        n_edges = graph.global_edge_count()
-        if n_edges == 0:
-            return graph
-        n_vertices = global_vertex_count(graph, run)
-        if n_vertices <= threshold:
-            return graph
-        ckpt = None
-        if fi is not None and fi.protects_rounds:
-            from ..faults.recovery import RoundCheckpoint
 
-            with machine.phase("fault_checkpoint"):
-                ckpt = RoundCheckpoint.take(graph, run)
-        # Both counts were needed for control flow anyway; the hooks reuse
-        # them so tracing never issues extra collectives.
-        observe_round_start(machine, run.rounds, n_vertices, n_edges)
-        machine.engine.note_round(run.rounds)
+    label = "boruvka"
+    divergence_error = "distributed Borůvka exceeded max_rounds"
+
+    def __init__(self, graph: DistGraph, run: MSTRun):
+        self.graph = graph
+        self.run = run
+        machine = graph.machine
+        cfg = run.cfg
+        # "By choosing the size threshold >= p, we take into account that
+        # up to p-1 shared vertices are not contracted in our distributed
+        # Borůvka rounds" (Section IV) -- below p the loop could stall on a
+        # remainder of shared vertices, so p is enforced as a floor.
+        self.threshold = max(cfg.base_case_factor * machine.n_procs,
+                             cfg.base_case_min, machine.n_procs)
+
+    def prologue(self, round_no: int) -> Optional[RoundStats]:
+        """Base-case threshold check (the two termination collectives)."""
+        n_edges = self.graph.global_edge_count()
+        if n_edges == 0:
+            return None
+        n_vertices = global_vertex_count(self.graph, self.run)
+        if n_vertices <= self.threshold:
+            return None
+        return RoundStats(n_vertices, n_edges)
+
+    def round(self, round_no: int) -> bool:
+        """MINEDGES -> CONTRACT -> EXCHANGE -> RELABEL -> REDISTRIBUTE."""
+        graph, run = self.graph, self.run
+        machine = graph.machine
         with machine.phase("min_edges"):
             chosen = min_edges(graph)
         with machine.phase("contraction"):
@@ -154,20 +152,53 @@ def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
         with machine.phase("relabel"):
             relabelled = relabel(graph, vids, labels, tables, run)
         with machine.phase("redistribute"):
-            new_graph = redistribute(run, machine, relabelled)
-        if ckpt is not None:
-            failed = fi.poll_pe_failures(run.rounds)
-            if len(failed):
-                fi.count_replay(run.rounds)
-                with machine.phase("fault_recovery"):
-                    graph = ckpt.restore(run, failed)
-                continue
-        graph = new_graph
-        machine.checkpoint(f"boruvka_round_{run.rounds}")
-        observe_round_end(machine, run.rounds)
-        run.rounds += 1
-        rounds_done += 1
-    raise RuntimeError("distributed Borůvka exceeded max_rounds")
+            self.graph = redistribute(run, machine, relabelled)
+        return False  # convergence is the prologue's threshold check
+
+    # -- CheckpointableState ------------------------------------------
+    def checkpoint_state(self) -> "BoruvkaRoundBody":
+        """Borůvka rounds are always replayable: the body is its state."""
+        return self
+
+    def take(self, run: MSTRun) -> "_GraphRestore":
+        """Buddy-replicate the current edge partition (RoundCheckpoint)."""
+        from ..faults.recovery import RoundCheckpoint
+
+        return _GraphRestore(self, RoundCheckpoint.take(self.graph, run))
+
+
+class _GraphRestore:
+    """Checkpoint handle swapping the restored graph into the body."""
+
+    def __init__(self, body: BoruvkaRoundBody, ckpt):
+        self.body = body
+        self.ckpt = ckpt
+
+    def restore(self, run: MSTRun, failed: np.ndarray) -> None:
+        """Swap the rebuilt post-recovery graph back into the body."""
+        self.body.graph = self.ckpt.restore(run, failed)
+
+
+def boruvka_rounds(graph: DistGraph, run: MSTRun) -> DistGraph:
+    """The distributed Borůvka main loop (without preprocessing/base case).
+
+    A thin wrapper driving :class:`BoruvkaRoundBody` through the unified
+    :class:`~repro.core.rounds.RoundScheduler`, which owns the round
+    lifecycle: observability hooks, sanitizer checkpoints, fault brackets
+    and round counting.  When a fault injector with fail-stop events is
+    attached (``machine.faults``, see docs/faults.md), every round is
+    bracketed by a :class:`~repro.faults.RoundCheckpoint`: the round input
+    is replicated to buddy PEs before the round, a failure heartbeat is
+    polled at the round barrier, and on a fail-stop the checkpoint is
+    restored and the round replayed -- with the RNG streams rolled back,
+    so the replay recomputes exactly the same contraction (the
+    bit-identical-MST recovery invariant).  Replays do not consume
+    ``max_rounds`` budget; they are bounded by the schedule's
+    ``max_replays`` instead.
+    """
+    body = BoruvkaRoundBody(graph, run)
+    RoundScheduler(run, run.cfg.max_rounds).run_rounds(body)
+    return body.graph
 
 
 def redistribute_mst(run: MSTRun, snapshot: InputSnapshot) -> List[Edges]:

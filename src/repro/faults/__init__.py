@@ -13,12 +13,13 @@ run stays bit-identical to the fault-free run.
 
 from .checksum import buffer_checksum, flip_bit
 from .injector import FaultInjector, UnrecoverableFault
-from .recovery import RoundCheckpoint
+from .recovery import ArrayCheckpoint, RoundCheckpoint
 from .schedule import FaultSchedule, faults_env_spec
 
 __all__ = [
     "FaultSchedule",
     "FaultInjector",
+    "ArrayCheckpoint",
     "RoundCheckpoint",
     "UnrecoverableFault",
     "buffer_checksum",

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.competitors import awerbuch_shiloach_msf, mnd_mst
+from repro.competitors import awerbuch_shiloach_msf, dist_prim, mnd_mst
 from repro.engines import MultiprocessEngine
 from repro.faults import UnrecoverableFault
 from repro.core import (
@@ -158,6 +158,32 @@ class TestFaultIdentity:
             assert r1.elapsed > r0.elapsed, (
                 f"{faulted.faults.summary()} injected but recovered for "
                 "free (no simulated-time charge)")
+
+    @given(inst=instances(max_n=60), fseed=st.integers(0, 2 ** 16),
+           algo=st.sampled_from([awerbuch_shiloach_msf, mnd_mst,
+                                 dist_prim]))
+    @settings(max_examples=15, deadline=None)
+    def test_scheduler_recovers_every_round_looped_algorithm(
+            self, inst, fseed, algo):
+        # The unified RoundScheduler owns the checkpoint/replay bracket for
+        # all round-looped drivers, so the bit-identical-weight recovery
+        # property must hold for the competitors exactly as for Borůvka.
+        graph, p, threads = inst
+        base = Machine(p, threads=threads, sanitize=True, faults=False)
+        r0 = algo(graph.distribute(base))
+        spec = f"seed={fseed}, pe_fail=0.02, retries=10, max_replays=64"
+        faulted = Machine(p, threads=threads, sanitize=True, faults=spec)
+        try:
+            r1 = algo(graph.distribute(faulted))
+        except UnrecoverableFault:
+            assume(False)
+        assert r1.total_weight == r0.total_weight, (
+            f"{algo.__name__} recovery changed the MSF weight under "
+            f"{spec!r}")
+        if faulted.faults.counts:
+            assert r1.elapsed > r0.elapsed, (
+                f"{algo.__name__}: {faulted.faults.summary()} injected "
+                "but recovered for free (no simulated-time charge)")
 
 
 def _engine_of(name):
