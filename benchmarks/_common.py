@@ -18,7 +18,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -122,21 +121,10 @@ def _memo_graph(key, g):
 
 
 def peak_rss_bytes() -> int | None:
-    """Peak resident set size of this process tree so far, in bytes.
+    """Peak RSS of this process tree in bytes (see repro.obs.ledger)."""
+    from repro.obs.ledger import peak_rss_bytes as _peak
 
-    ``ru_maxrss`` covers the whole process lifetime (it never decreases),
-    so the value recorded by a benchmark is an upper bound including any
-    earlier work in the same interpreter.  Includes worker children (the
-    multiprocess engine); returns ``None`` where ``resource`` is missing.
-    """
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX platform
-        return None
-    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
-               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
-    # Linux reports KiB; macOS reports bytes.
-    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+    return _peak()
 
 
 def report(name: str, text: str) -> None:
@@ -178,9 +166,17 @@ class BenchRecorder:
         )
 
     def write(self, **extra) -> Path:
-        """Persist the JSON record and return its path."""
+        """Persist the JSON record and return its path.
+
+        Also appends a matching row to the run ledger when one is active
+        (``REPRO_LEDGER`` or ``REPRO_TRACE_DIR`` set; repro.obs.ledger).
+        """
+        from repro.obs import SCHEMA_VERSION
+        from repro.obs.ledger import append_record, ledger_path, make_record
+
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "peak_rss_bytes": self.peak_rss_bytes,
@@ -193,6 +189,15 @@ class BenchRecorder:
         }
         path = RESULTS_DIR / f"BENCH_{self.name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if ledger_path() is not None:
+            append_record(make_record(
+                "benchmark", self.name,
+                config={"kernels": payload["kernels"],
+                        "engine": payload["engine"],
+                        "max_cores": payload["max_cores"],
+                        "scale": payload["scale"]},
+                simulated=self.simulated,
+                wall_seconds=self.wall_seconds))
         return path
 
 

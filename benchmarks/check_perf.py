@@ -1,27 +1,34 @@
 #!/usr/bin/env python
-"""Gate a fresh ``BENCH_<name>.json`` against a checked-in baseline.
+"""Gate fresh ``BENCH_<name>.json`` records against checked-in baselines.
 
 Usage::
 
     python benchmarks/check_perf.py FRESH BASELINE [--max-ratio R]
+    python benchmarks/check_perf.py FRESH_DIR BASELINE_DIR [--max-ratio R]
     python benchmarks/check_perf.py FRESH BASELINE --update-baseline
                                     [--allow-simulated-change]
 
-Check mode (the default) exits non-zero when
+This is a thin CLI over :mod:`repro.analysis.report` -- the same gate
+``repro report --check`` runs, so CI and the report command agree by
+construction.  Check mode (the default) exits non-zero when
 
-* the fresh ``wall_seconds`` exceeds ``--max-ratio`` (default 2.0) times the
+* a fresh ``wall_seconds`` exceeds ``--max-ratio`` (default 2.0) times the
   baseline wall-clock -- the perf-smoke regression gate, or
 * any simulated entry differs from the baseline -- simulated seconds are
   machine-independent and must be bit-for-bit reproducible, so a mismatch
   means the modelled algorithm changed; regenerate the baseline in the same
   commit if the change is intentional.
 
-``--update-baseline`` overwrites BASELINE with FRESH instead of checking.
-Updating is for wall-clock drift (new CI hardware, interpreter upgrades):
-it *refuses* to run when the simulated series changed, because that would
-silently launder a modelling change into the baseline.  Pass
-``--allow-simulated-change`` only when the simulated change is the
-intentional, reviewed subject of the same commit.
+Directories are matched by ``BENCH_*.json`` filename, so passing two
+directories gates *every* benchmark family at once (a record present on
+only one side fails the gate).
+
+``--update-baseline`` overwrites BASELINE with FRESH instead of checking
+(single files only).  Updating is for wall-clock drift (new CI hardware,
+interpreter upgrades): it *refuses* to run when the simulated series
+changed, because that would silently launder a modelling change into the
+baseline.  Pass ``--allow-simulated-change`` only when the simulated
+change is the intentional, reviewed subject of the same commit.
 """
 
 from __future__ import annotations
@@ -30,50 +37,31 @@ import argparse
 import json
 import shutil
 import sys
+from pathlib import Path
+
+# Runnable both as `python benchmarks/check_perf.py` (CI) and under
+# pytest with PYTHONPATH=src already set.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.report import (  # noqa: E402  (path bootstrap above)
+    perf_check,
+    perf_failures,
+    regression_text,
+    simulated_diffs,
+)
 
 
 def _load(path: str) -> dict:
+    """Read one BENCH record."""
     with open(path) as f:
         return json.load(f)
 
 
-def simulated_diffs(fresh: dict, base: dict) -> list[str]:
-    """Human-readable differences between the two simulated series."""
-    sim_fresh = {e["label"]: e for e in fresh.get("simulated", [])}
-    sim_base = {e["label"]: e for e in base.get("simulated", [])}
-    out = []
-    if set(sim_fresh) != set(sim_base):
-        only_f = sorted(set(sim_fresh) - set(sim_base))
-        only_b = sorted(set(sim_base) - set(sim_fresh))
-        out.append(f"series mismatch: only-fresh {only_f[:5]}, "
-                   f"only-baseline {only_b[:5]}")
-        return out
-    drifted = [label for label in sim_base
-               if sim_fresh[label]["simulated_seconds"]
-               != sim_base[label]["simulated_seconds"]]
-    if drifted:
-        out.append("simulated seconds drifted (machine-independent, must "
-                   f"be bit-for-bit): {drifted[:10]}")
-    return out
-
-
-def check(fresh: dict, base: dict, max_ratio: float) -> list[str]:
+def check(fresh_path: str, base_path: str, max_ratio: float) -> list[str]:
     """The regression gate; returns failure messages (empty = pass)."""
-    failures = []
-    wall_fresh = fresh["wall_seconds"]
-    wall_base = base["wall_seconds"]
-    ratio = wall_fresh / wall_base if wall_base else float("inf")
-    print(f"wall-clock: fresh {wall_fresh:.2f}s vs baseline {wall_base:.2f}s "
-          f"(ratio {ratio:.2f}, limit {max_ratio:.2f})")
-    if ratio > max_ratio:
-        failures.append(
-            f"wall-clock regression: {wall_fresh:.2f}s > "
-            f"{max_ratio} * {wall_base:.2f}s")
-    failures += simulated_diffs(fresh, base)
-    if not failures:
-        print(f"simulated series: {len(fresh.get('simulated', []))} "
-              f"entries identical")
-    return failures
+    results = perf_check(fresh_path, base_path, max_ratio)
+    print(regression_text(results))
+    return perf_failures(results)
 
 
 def update_baseline(fresh_path: str, base_path: str, fresh: dict,
@@ -97,12 +85,15 @@ def update_baseline(fresh_path: str, base_path: str, fresh: dict,
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the gate (or a baseline update)."""
     parser = argparse.ArgumentParser(
-        description="check or refresh a benchmark baseline",
+        description="check or refresh benchmark baselines",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=__doc__)
-    parser.add_argument("fresh", help="fresh BENCH_<name>.json")
-    parser.add_argument("baseline", help="checked-in baseline json")
+    parser.add_argument("fresh",
+                        help="fresh BENCH_<name>.json (or a directory)")
+    parser.add_argument("baseline",
+                        help="checked-in baseline json (or a directory)")
     parser.add_argument("max_ratio_pos", nargs="?", type=float,
                         metavar="MAX_RATIO",
                         help="legacy positional form of --max-ratio")
@@ -111,7 +102,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 2.0)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="overwrite BASELINE with FRESH instead of "
-                             "checking (refused on simulated drift)")
+                             "checking (refused on simulated drift; "
+                             "single files only)")
     parser.add_argument("--allow-simulated-change", action="store_true",
                         help="with --update-baseline: accept a changed "
                              "simulated series (intentional modelling "
@@ -120,13 +112,16 @@ def main(argv: list[str] | None = None) -> int:
     max_ratio = args.max_ratio if args.max_ratio is not None \
         else (args.max_ratio_pos if args.max_ratio_pos is not None else 2.0)
 
-    fresh = _load(args.fresh)
-    base = _load(args.baseline)
     if args.update_baseline:
-        failures = update_baseline(args.fresh, args.baseline, fresh, base,
+        if Path(args.fresh).is_dir() or Path(args.baseline).is_dir():
+            print("FAIL: --update-baseline takes single files, not "
+                  "directories", file=sys.stderr)
+            return 1
+        failures = update_baseline(args.fresh, args.baseline,
+                                   _load(args.fresh), _load(args.baseline),
                                    args.allow_simulated_change)
     else:
-        failures = check(fresh, base, max_ratio)
+        failures = check(args.fresh, args.baseline, max_ratio)
     for msg in failures:
         print(f"FAIL: {msg}", file=sys.stderr)
     return 1 if failures else 0

@@ -27,7 +27,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs import validate_chrome_trace  # noqa: E402
+from repro.obs import check_schema_version, validate_chrome_trace  # noqa: E402
 
 #: Sections every metrics dump must carry.
 METRICS_SECTIONS = ("counters", "gauges", "histograms", "series", "per_pe")
@@ -67,6 +67,9 @@ def check_traces_dir(traces_dir: Path) -> list[str]:
         for section in METRICS_SECTIONS:
             if section not in metrics:
                 failures.append(f"{metrics_path}: missing {section!r}")
+        failures.extend(check_schema_version(
+            metrics.get("schema_version"),
+            f"{metrics_path.name}: schema_version"))
     return failures
 
 

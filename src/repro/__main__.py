@@ -1,7 +1,16 @@
 """Entry point for ``python -m repro``."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe; exit quietly like other
+    # well-behaved Unix filters.  Re-point stdout at devnull so the
+    # interpreter's shutdown flush does not raise a second time.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    sys.exit(1)

@@ -1,4 +1,9 @@
-"""Experiment harness: sweeps, result records, table/CSV formatting."""
+"""Experiment harness: sweeps, result records, tables, reports.
+
+Besides the sweep runner and formatting helpers, this package hosts the
+reporting/regression layer (:mod:`repro.analysis.report`) behind the
+``repro report`` subcommand and ``benchmarks/check_perf.py``.
+"""
 
 from .runner import (
     ExperimentResult,
@@ -11,6 +16,15 @@ from .runner import (
 )
 from .plots import ascii_plot, plot_results
 from .tables import csv_lines, series_table, speedup_summary
+from .report import (
+    compare_bench,
+    ledger_diff,
+    perf_check,
+    perf_failures,
+    report_for_directory,
+    report_for_target,
+    simulated_diffs,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -25,4 +39,11 @@ __all__ = [
     "csv_lines",
     "series_table",
     "speedup_summary",
+    "compare_bench",
+    "ledger_diff",
+    "perf_check",
+    "perf_failures",
+    "report_for_directory",
+    "report_for_target",
+    "simulated_diffs",
 ]

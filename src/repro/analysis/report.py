@@ -1,0 +1,650 @@
+"""Run reports and the perf-regression observatory (``repro report``).
+
+Three readers feed one reporting pipeline:
+
+* a **Chrome trace** artifact (``*.trace.json`` from ``repro profile`` or a
+  traced benchmark) -- analyzed offline by :mod:`repro.obs.critpath` into
+  the critical-path breakdown, phase x PE attribution, per-round imbalance
+  and wave-pipelining estimates;
+* a **run ledger** (``ledger.jsonl``, :mod:`repro.obs.ledger`) -- rendered
+  as a run history, with a regression diff of each run name's latest row
+  against its previous one;
+* **BENCH records** (``benchmarks/results/BENCH_*.json``) -- compared
+  fresh-vs-baseline under the perf gate: wall-clock ratio bounded by
+  ``--max-ratio`` and simulated series bit-identical.
+  :func:`compare_bench`/:func:`perf_check` are the canonical gate
+  implementation; ``benchmarks/check_perf.py`` is a thin CLI over them, so
+  the CI verdict and ``repro report --check`` agree by construction.
+
+Reports render as ASCII (:func:`render_text`) and as one self-contained
+HTML file (:func:`render_html`) with no external assets: phase/PE
+heatmaps, critical-path and phase breakdown bars, round and regression
+tables.  Everything here *reads* recorded artifacts only -- report
+generation can never change a simulated number.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import critpath
+from ..obs.validate import check_schema_version
+
+#: Categorical palette (validated 4-slot order; see docs/observability.md).
+#: Slots: compute=blue, collective/comm=orange, wait=aqua, startup=yellow.
+PALETTE_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100")
+PALETTE_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500")
+
+#: Single-hue sequential ramp (blue, light->dark) for the heatmaps.
+SEQ_RAMP = ("#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec",
+            "#5598e7", "#3987e5", "#2a78d6", "#256abf", "#1c5cab",
+            "#184f95", "#104281", "#0d366b")
+
+
+# ----------------------------------------------------------------------
+# Artifact loading / classification.
+# ----------------------------------------------------------------------
+def classify_artifact(path) -> Tuple[str, object]:
+    """Load one artifact and say what it is.
+
+    Returns ``(kind, payload)`` with kind one of ``trace`` (Chrome trace
+    JSON), ``bench`` (a BENCH record), ``metrics`` (a metrics dump) or
+    ``ledger`` (JSONL rows).  Raises ``ValueError`` for unrecognisable
+    files.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl" or path.name.endswith("ledger.jsonl"):
+        from ..obs.ledger import read_ledger
+
+        return "ledger", read_ledger(path)
+    payload = json.loads(path.read_text())
+    if isinstance(payload, dict):
+        if "traceEvents" in payload:
+            return "trace", payload
+        if "simulated" in payload and "wall_seconds" in payload:
+            return "bench", payload
+        if "counters" in payload and "series" in payload:
+            return "metrics", payload
+    raise ValueError(
+        f"{path}: not a trace, BENCH record, metrics dump or ledger")
+
+
+def _bench_files(path: Path) -> Dict[str, Path]:
+    """BENCH record files by family name (one file, or all in a dir)."""
+    if path.is_dir():
+        return {p.name: p for p in sorted(path.glob("BENCH_*.json"))}
+    return {path.name: path}
+
+
+# ----------------------------------------------------------------------
+# The perf gate (canonical implementation; check_perf.py delegates here).
+# ----------------------------------------------------------------------
+def simulated_diffs(fresh: Dict, base: Dict) -> List[str]:
+    """Human-readable differences between two BENCH simulated series.
+
+    Simulated seconds are machine-independent and must be bit-for-bit
+    reproducible; any drift means the modelled algorithm changed.
+    """
+    sim_fresh = {e["label"]: e for e in fresh.get("simulated", [])}
+    sim_base = {e["label"]: e for e in base.get("simulated", [])}
+    out = []
+    if set(sim_fresh) != set(sim_base):
+        only_f = sorted(set(sim_fresh) - set(sim_base))
+        only_b = sorted(set(sim_base) - set(sim_fresh))
+        out.append(f"series mismatch: only-fresh {only_f[:5]}, "
+                   f"only-baseline {only_b[:5]}")
+        return out
+    drifted = [label for label in sim_base
+               if sim_fresh[label]["simulated_seconds"]
+               != sim_base[label]["simulated_seconds"]]
+    if drifted:
+        out.append("simulated seconds drifted (machine-independent, must "
+                   f"be bit-for-bit): {drifted[:10]}")
+    return out
+
+
+def compare_bench(fresh: Dict, base: Dict, max_ratio: float = 2.0) -> Dict:
+    """Gate one fresh BENCH record against its baseline.
+
+    Returns a row for the regression table: wall seconds both sides, their
+    ratio, the simulated-series verdict and the list of failures (empty =
+    the family passes the gate).
+    """
+    failures: List[str] = []
+    wall_fresh = fresh.get("wall_seconds") or 0.0
+    wall_base = base.get("wall_seconds") or 0.0
+    ratio = (wall_fresh / wall_base) if wall_base else float("inf")
+    if ratio > max_ratio:
+        failures.append(f"wall-clock regression: {wall_fresh:.2f}s > "
+                        f"{max_ratio} * {wall_base:.2f}s")
+    sim_problems = simulated_diffs(fresh, base)
+    failures += sim_problems
+    return {
+        "name": fresh.get("name", "?"),
+        "wall_fresh": wall_fresh,
+        "wall_base": wall_base,
+        "ratio": ratio,
+        "max_ratio": max_ratio,
+        "n_simulated": len(fresh.get("simulated", [])),
+        "simulated_ok": not sim_problems,
+        "failures": failures,
+    }
+
+
+def perf_check(fresh, baseline, max_ratio: float = 2.0) -> List[Dict]:
+    """Gate fresh BENCH records against baselines, family by family.
+
+    ``fresh``/``baseline`` are files or directories; directories are
+    matched by ``BENCH_*.json`` filename so the gate covers *every*
+    benchmark family present on both sides, and families present on only
+    one side are reported as failures (a vanished baseline must not
+    silently shrink the gate's coverage).
+    """
+    fresh_files = _bench_files(Path(fresh))
+    base_files = _bench_files(Path(baseline))
+    if len(fresh_files) == 1 and len(base_files) == 1:
+        # Single-file mode compares the two records regardless of name
+        # (the check_perf.py CLI contract).
+        (fname, fpath), (_, bpath) = (next(iter(fresh_files.items())),
+                                      next(iter(base_files.items())))
+        fresh_rec = json.loads(fpath.read_text())
+        base_rec = json.loads(bpath.read_text())
+        return [compare_bench(fresh_rec, base_rec, max_ratio)]
+    results: List[Dict] = []
+    for name in sorted(set(fresh_files) | set(base_files)):
+        if name not in fresh_files or name not in base_files:
+            side = "baseline" if name not in base_files else "fresh run"
+            results.append({
+                "name": name, "wall_fresh": None, "wall_base": None,
+                "ratio": None, "max_ratio": max_ratio, "n_simulated": 0,
+                "simulated_ok": False,
+                "failures": [f"{name}: missing {side} record"],
+            })
+            continue
+        fresh_rec = json.loads(fresh_files[name].read_text())
+        base_rec = json.loads(base_files[name].read_text())
+        results.append(compare_bench(fresh_rec, base_rec, max_ratio))
+    return results
+
+
+def perf_failures(results: Sequence[Dict]) -> List[str]:
+    """Flatten gate results into failure messages (empty = all pass)."""
+    out: List[str] = []
+    for row in results:
+        out.extend(f"{row['name']}: {msg}" for msg in row["failures"])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Ledger diffing.
+# ----------------------------------------------------------------------
+def ledger_diff(rows: List[Dict], max_ratio: float = 2.0) -> List[Dict]:
+    """Compare each run name's latest ledger row against its previous one.
+
+    Returns regression-table rows shaped like :func:`compare_bench`'s;
+    names seen only once produce a row with no baseline (not a failure --
+    a first run has nothing to regress against).
+    """
+    history: Dict[str, List[Dict]] = {}
+    for row in rows:
+        name = row.get("name")
+        if isinstance(name, str) and name:
+            history.setdefault(name, []).append(row)
+    out: List[Dict] = []
+    for name in sorted(history):
+        runs = history[name]
+        latest = runs[-1]
+        if len(runs) < 2:
+            out.append({"name": name,
+                        "wall_fresh": latest.get("wall_seconds"),
+                        "wall_base": None, "ratio": None,
+                        "max_ratio": max_ratio,
+                        "n_simulated": len(latest.get("simulated", [])),
+                        "simulated_ok": True, "failures": []})
+            continue
+        out.append(compare_bench(latest, runs[-2], max_ratio))
+        out[-1]["name"] = name
+    return out
+
+
+def validate_rows(rows: List[Dict]) -> List[str]:
+    """Schema-validate every ledger row; returns all problems found."""
+    from ..obs.validate import validate_ledger_record
+
+    problems: List[str] = []
+    for i, row in enumerate(rows):
+        problems.extend(validate_ledger_record(row, f"row {i}"))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering.
+# ----------------------------------------------------------------------
+def _fmt_s(value: Optional[float]) -> str:
+    """Seconds with engineering-friendly precision ('-' when absent)."""
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _ascii_table(headers: Sequence[str], rows: Sequence[Sequence[str]]
+                 ) -> str:
+    """Right-aligned ASCII table with a dashed header rule."""
+    table = [list(headers)] + [list(r) for r in rows]
+    widths = [max(len(r[c]) for r in table) for c in range(len(headers))]
+    lines = ["  ".join(cell.rjust(widths[c])
+                       for c, cell in enumerate(r)) for r in table]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def critpath_text(analysis: "critpath.CritPathAnalysis") -> str:
+    """ASCII critical-path report for one analyzed trace."""
+    lines = [
+        f"critical path: {analysis.length:.6g} simulated seconds "
+        f"(anchor PE {analysis.anchor_rank}, p={analysis.n_procs}, "
+        f"{len(analysis.segments)} segments)",
+        "",
+        "breakdown by kind:",
+    ]
+    for kind in ("compute", "collective", "startup_alpha_est"):
+        val = analysis.by_kind.get(kind, 0.0)
+        share = 100.0 * val / analysis.length if analysis.length else 0.0
+        note = " (estimate, within collective)" \
+            if kind == "startup_alpha_est" else ""
+        lines.append(f"  {kind:<18} {val:>12.6g} s  {share:5.1f}%{note}")
+    if analysis.by_op:
+        lines += ["", "collective path seconds by operation:"]
+        for name, val in sorted(analysis.by_op.items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<28} {val:>12.6g} s")
+    if analysis.phase_times:
+        lines += ["", "exclusive phase attribution (max over PEs):"]
+        for name, val in sorted(analysis.phase_times.items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<22} {val:>12.6g} s")
+    if analysis.rounds:
+        lines += ["", "per-round load imbalance:"]
+        rows = [[str(r.round), _fmt_s(r.max_s), _fmt_s(r.mean_s),
+                 _fmt_s(r.p99_s), str(r.straggler),
+                 _fmt_s(r.attribution.get("compute")),
+                 _fmt_s(r.attribution.get("comm")),
+                 _fmt_s(r.attribution.get("wait"))]
+                for r in analysis.rounds]
+        lines.append(_ascii_table(
+            ("round", "max [s]", "mean [s]", "p99 [s]", "straggler",
+             "s.compute", "s.comm", "s.wait"), rows))
+    if analysis.wave:
+        lines += ["", "wave-pipelining estimate (overlappable slack, "
+                      "optimistic):"]
+        rows = [[str(w.round), _fmt_s(w.slack_mean_s), _fmt_s(w.slack_max_s),
+                 _fmt_s(w.prologue_s), _fmt_s(w.benefit_s)]
+                for w in analysis.wave]
+        lines.append(_ascii_table(
+            ("round", "slack mean", "slack max", "prologue", "benefit"),
+            rows))
+        share = (100.0 * analysis.wave_benefit_s / analysis.length
+                 if analysis.length else 0.0)
+        lines.append(f"total estimated benefit: "
+                     f"{analysis.wave_benefit_s:.6g} s "
+                     f"({share:.1f}% of the path)")
+    slack = analysis.per_pe_slack
+    if slack and analysis.n_procs > 1:
+        lines += ["", f"per-PE tail slack: max {max(slack):.6g} s, "
+                      f"mean {sum(slack) / len(slack):.6g} s"]
+    return "\n".join(lines)
+
+
+def regression_text(results: Sequence[Dict]) -> str:
+    """ASCII regression table over perf-gate / ledger-diff rows."""
+    rows = []
+    for r in results:
+        ratio = "-" if r["ratio"] is None else f"{r['ratio']:.2f}"
+        verdict = "FAIL" if r["failures"] else \
+            ("n/a" if r["wall_base"] is None else "ok")
+        rows.append([r["name"], _fmt_s(r["wall_fresh"]),
+                     _fmt_s(r["wall_base"]), ratio,
+                     f"{r['max_ratio']:.1f}",
+                     "yes" if r["simulated_ok"] else "NO", verdict])
+    table = _ascii_table(
+        ("family", "wall fresh", "wall base", "ratio", "limit",
+         "sim identical", "verdict"), rows)
+    failures = perf_failures(results)
+    if failures:
+        table += "\n" + "\n".join(f"FAIL: {msg}" for msg in failures)
+    return table
+
+
+def ledger_text(rows: List[Dict], max_ratio: float = 2.0) -> str:
+    """ASCII run-history report over ledger rows, plus the latest diff."""
+    display = []
+    for row in rows[-20:]:
+        sim = row.get("simulated") or []
+        display.append([
+            str(row.get("timestamp", "-")), str(row.get("kind", "-")),
+            str(row.get("name", "-")), str(row.get("engine", "-")),
+            str(row.get("n_procs", "-")), _fmt_s(row.get("wall_seconds")),
+            str(len(sim)), str(row.get("rounds", "-"))])
+    out = [f"run ledger: {len(rows)} rows (showing last {len(display)})",
+           _ascii_table(("timestamp", "kind", "name", "engine", "p",
+                         "wall [s]", "series", "rounds"), display)]
+    diffs = ledger_diff(rows, max_ratio)
+    if diffs:
+        out += ["", "latest vs previous run per name:",
+                regression_text(diffs)]
+    problems = validate_rows(rows)
+    if problems:
+        out += ["", "schema problems:"] + [f"  {p}" for p in problems]
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Self-contained HTML rendering.
+# ----------------------------------------------------------------------
+_CSS = """
+.viz-root { color-scheme: light;
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --series-1: %(c1)s; --series-2: %(c2)s;
+  --series-3: %(c3)s; --series-4: %(c4)s;
+  background: var(--surface-1); color: var(--text-primary);
+  font: 14px/1.45 system-ui, sans-serif; padding: 24px;
+  max-width: 1100px; margin: 0 auto; }
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #383835;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --series-1: %(d1)s; --series-2: %(d2)s;
+    --series-3: %(d3)s; --series-4: %(d4)s; } }
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.viz-root .sub { color: var(--text-secondary); margin: 0 0 16px; }
+.viz-root .tiles { display: flex; gap: 12px; flex-wrap: wrap; }
+.viz-root .tile { background: var(--surface-2); border-radius: 8px;
+  padding: 10px 16px; min-width: 130px; }
+.viz-root .tile .v { font-size: 22px; font-weight: 600; }
+.viz-root .tile .k { color: var(--text-secondary); font-size: 12px; }
+.viz-root .barrow { display: grid;
+  grid-template-columns: 180px 1fr 90px; gap: 8px;
+  align-items: center; margin: 2px 0; }
+.viz-root .barrow .lbl { text-align: right;
+  color: var(--text-secondary); overflow: hidden;
+  text-overflow: ellipsis; white-space: nowrap; }
+.viz-root .barrow .track { height: 14px; }
+.viz-root .barrow .fill { height: 14px;
+  border-radius: 0 4px 4px 0; min-width: 2px; }
+.viz-root .barrow .val { font-variant-numeric: tabular-nums; }
+.viz-root table { border-collapse: collapse; margin: 6px 0; }
+.viz-root th, .viz-root td { padding: 3px 10px; text-align: right;
+  font-variant-numeric: tabular-nums; }
+.viz-root th { color: var(--text-secondary); font-weight: 500;
+  border-bottom: 1px solid var(--surface-2); }
+.viz-root td.l, .viz-root th.l { text-align: left; }
+.viz-root .hm { display: grid; gap: 2px; margin: 6px 0; }
+.viz-root .hm div { min-width: 10px; height: 16px; border-radius: 2px; }
+.viz-root .hm .rl { background: none; color: var(--text-secondary);
+  font-size: 11px; text-align: right; padding-right: 6px;
+  white-space: nowrap; }
+.viz-root .legend { display: flex; gap: 16px; flex-wrap: wrap;
+  color: var(--text-secondary); font-size: 12px; margin: 6px 0; }
+.viz-root .legend span::before { content: ""; display: inline-block;
+  width: 10px; height: 10px; border-radius: 2px; margin-right: 5px;
+  background: var(--sw); }
+.viz-root .fail { color: #b3261e; font-weight: 600; }
+.viz-root .ok { color: var(--text-secondary); }
+""" % {"c1": PALETTE_LIGHT[0], "c2": PALETTE_LIGHT[1],
+       "c3": PALETTE_LIGHT[2], "c4": PALETTE_LIGHT[3],
+       "d1": PALETTE_DARK[0], "d2": PALETTE_DARK[1],
+       "d3": PALETTE_DARK[2], "d4": PALETTE_DARK[3]}
+
+
+def _esc(text) -> str:
+    """HTML-escape one cell."""
+    return _html.escape(str(text))
+
+
+def _ramp_color(fraction: float) -> str:
+    """Sequential ramp hex for a magnitude fraction in [0, 1]."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    return SEQ_RAMP[round(fraction * (len(SEQ_RAMP) - 1))]
+
+
+def _html_bars(items: Sequence[Tuple[str, float, str]], unit: str = "s"
+               ) -> str:
+    """Horizontal bar rows with direct value labels (one row per item).
+
+    ``items`` are ``(label, value, css-color)``; bars share one linear
+    scale anchored at zero.
+    """
+    top = max((v for _, v, _ in items), default=0.0) or 1.0
+    rows = []
+    for label, value, color in items:
+        pct = 100.0 * value / top
+        rows.append(
+            f'<div class="barrow" title="{_esc(label)}: {value:.6g} {unit}">'
+            f'<span class="lbl">{_esc(label)}</span>'
+            f'<span class="track"><span class="fill" style="display:block;'
+            f'width:{pct:.2f}%;background:{color}"></span></span>'
+            f'<span class="val">{value:.6g}&thinsp;{unit}</span></div>')
+    return "\n".join(rows)
+
+
+def _html_heatmap(row_labels: Sequence[str], matrix: Sequence[Sequence[float]]
+                  ) -> str:
+    """Row-labelled heatmap grid on the sequential ramp (cols = PEs)."""
+    if not matrix:
+        return ""
+    n_cols = max(len(row) for row in matrix)
+    top = max((v for row in matrix for v in row), default=0.0) or 1.0
+    cells = [f'<div class="hm" style="grid-template-columns:'
+             f'minmax(120px,auto) repeat({n_cols}, 1fr)">']
+    for label, row in zip(row_labels, matrix):
+        cells.append(f'<div class="rl">{_esc(label)}</div>')
+        for pe, value in enumerate(row):
+            cells.append(
+                f'<div style="background:{_ramp_color(value / top)}" '
+                f'title="{_esc(label)} / PE {pe}: {value:.6g} s"></div>')
+    cells.append("</div>")
+    legend = (f'<p class="legend"><span style="--sw:{SEQ_RAMP[0]}">0</span>'
+              f'<span style="--sw:{SEQ_RAMP[-1]}">{top:.6g} s (max)</span>'
+              f'</p>')
+    return "\n".join(cells) + legend
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                left_cols: int = 1) -> str:
+    """Plain HTML table; the first ``left_cols`` columns left-align."""
+    def cls(i: int) -> str:
+        return ' class="l"' if i < left_cols else ""
+
+    head = "".join(f"<th{cls(i)}>{_esc(h)}</th>"
+                   for i, h in enumerate(headers))
+    body = "".join(
+        "<tr>" + "".join(f"<td{cls(i)}>{cell}</td>"
+                         for i, cell in enumerate(row)) + "</tr>"
+        for row in rows)
+    return f"<table><thead><tr>{head}</tr></thead>" \
+           f"<tbody>{body}</tbody></table>"
+
+
+def _page(title: str, body: str) -> str:
+    """Wrap rendered sections into one self-contained HTML document."""
+    return (f"<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+            f"<body><div class='viz-root'>{body}</div></body></html>")
+
+
+def critpath_html(analysis: "critpath.CritPathAnalysis",
+                  per_pe_phases: Optional[Dict[str, Sequence[float]]] = None,
+                  title: str = "run report") -> str:
+    """Self-contained HTML report for one analyzed trace."""
+    kinds = [("compute", analysis.by_kind.get("compute", 0.0),
+              "var(--series-1)"),
+             ("collective (comm)", analysis.by_kind.get("collective", 0.0),
+              "var(--series-2)"),
+             ("startup-α (est)",
+              analysis.by_kind.get("startup_alpha_est", 0.0),
+              "var(--series-4)")]
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='sub'>critical path anchored on PE "
+        f"{analysis.anchor_rank}; analysis is offline and never alters "
+        f"simulated numbers</p>",
+        "<div class='tiles'>",
+        f"<div class='tile'><div class='v'>{analysis.length:.6g} s</div>"
+        f"<div class='k'>simulated critical path (= makespan)</div></div>",
+        f"<div class='tile'><div class='v'>{analysis.n_procs}</div>"
+        f"<div class='k'>PEs</div></div>",
+        f"<div class='tile'><div class='v'>{len(analysis.segments)}</div>"
+        f"<div class='k'>path segments</div></div>",
+        f"<div class='tile'><div class='v'>"
+        f"{analysis.wave_benefit_s:.3g} s</div>"
+        f"<div class='k'>est. wave-pipelining benefit</div></div>",
+        "</div>",
+        "<h2>Critical-path breakdown</h2>",
+        _html_bars(kinds),
+    ]
+    if analysis.by_op:
+        ops = sorted(analysis.by_op.items(), key=lambda kv: -kv[1])[:10]
+        body.append("<h2>Collective path seconds by operation</h2>")
+        body.append(_html_bars([(name, val, "var(--series-2)")
+                                for name, val in ops]))
+    if analysis.phase_times:
+        phases = sorted(analysis.phase_times.items(), key=lambda kv: -kv[1])
+        body.append("<h2>Exclusive phase attribution (max over PEs)</h2>")
+        body.append(_html_bars([(name, val, "var(--series-1)")
+                                for name, val in phases]))
+    if per_pe_phases:
+        labels = sorted(per_pe_phases,
+                        key=lambda k: -max(per_pe_phases[k], default=0.0))
+        body.append("<h2>Phase &times; PE heatmap (exclusive seconds)</h2>")
+        body.append(_html_heatmap(
+            labels, [list(per_pe_phases[k]) for k in labels]))
+    if analysis.n_procs > 1 and analysis.per_pe_slack:
+        body.append("<h2>Per-PE tail slack</h2>")
+        body.append(_html_heatmap(["slack [s]"], [analysis.per_pe_slack]))
+    if analysis.rounds:
+        body.append("<h2>Per-round load imbalance</h2>")
+        body.append(_html_table(
+            ("round", "max [s]", "mean [s]", "p99 [s]", "straggler",
+             "compute", "comm", "wait"),
+            [(str(r.round), f"{r.max_s:.6g}", f"{r.mean_s:.6g}",
+              f"{r.p99_s:.6g}", str(r.straggler),
+              f"{r.attribution.get('compute', 0.0):.6g}",
+              f"{r.attribution.get('comm', 0.0):.6g}",
+              f"{r.attribution.get('wait', 0.0):.6g}")
+             for r in analysis.rounds]))
+    if analysis.wave:
+        body.append("<h2>Wave-pipelining estimate</h2>")
+        body.append(_html_table(
+            ("round", "slack mean [s]", "slack max [s]", "prologue [s]",
+             "benefit [s]"),
+            [(str(w.round), f"{w.slack_mean_s:.6g}",
+              f"{w.slack_max_s:.6g}", f"{w.prologue_s:.6g}",
+              f"{w.benefit_s:.6g}") for w in analysis.wave]))
+    return _page(title, "\n".join(body))
+
+
+def regression_html(results: Sequence[Dict],
+                    title: str = "perf regression report") -> str:
+    """Self-contained HTML regression table over perf-gate rows."""
+    rows = []
+    for r in results:
+        verdict = ('<span class="fail">FAIL</span>' if r["failures"]
+                   else '<span class="ok">ok</span>')
+        ratio = "-" if r["ratio"] is None else f"{r['ratio']:.2f}"
+        rows.append((_esc(r["name"]),
+                     _fmt_s(r["wall_fresh"]), _fmt_s(r["wall_base"]),
+                     ratio, f"{r['max_ratio']:.1f}",
+                     "yes" if r["simulated_ok"] else
+                     '<span class="fail">NO</span>', verdict))
+    failures = perf_failures(results)
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='sub'>{len(results)} families; gate: wall ratio &le; "
+        f"limit and simulated series bit-identical</p>",
+        _html_table(("family", "wall fresh [s]", "wall base [s]", "ratio",
+                     "limit", "sim identical", "verdict"), rows),
+    ]
+    if failures:
+        body.append("<h2>Failures</h2>")
+        body.append("".join(f"<p class='fail'>{_esc(m)}</p>"
+                            for m in failures))
+    return _page(title, "\n".join(body))
+
+
+# ----------------------------------------------------------------------
+# Top-level report assembly (what the CLI calls).
+# ----------------------------------------------------------------------
+def report_for_target(target, baseline=None, max_ratio: float = 2.0
+                      ) -> Tuple[str, str, List[str]]:
+    """Build the report for one target path.
+
+    Returns ``(text, html, failures)``: the ASCII report, the
+    self-contained HTML document, and the ``--check`` failure list (empty
+    when the target passes every applicable gate).  The target's
+    ``schema_version`` is checked on load (unknown majors are failures).
+    """
+    kind, payload = classify_artifact(target)
+    name = Path(target).name
+    if kind == "trace":
+        other = payload.get("otherData") or {} \
+            if isinstance(payload, dict) else {}
+        failures = list(check_schema_version(
+            other.get("schema_version"), f"{name}: otherData"))
+        analysis = critpath.analyze(payload)
+        events, n_procs = critpath._normalize(payload, None)
+        _, per_pe = critpath.phase_breakdown(events, n_procs)
+        text = f"== {name} ==\n" + critpath_text(analysis)
+        html_doc = critpath_html(
+            analysis, {k: v.tolist() for k, v in per_pe.items()},
+            title=name)
+        return text, html_doc, failures
+    if kind == "ledger":
+        failures = validate_rows(payload)
+        diffs = ledger_diff(payload, max_ratio)
+        failures += perf_failures(diffs)
+        text = ledger_text(payload, max_ratio)
+        html_doc = regression_html(diffs, title=f"ledger diff: {name}")
+        return text, html_doc, failures
+    if kind == "bench":
+        failures = list(check_schema_version(
+            payload.get("schema_version"), f"{name}: schema_version"))
+        if baseline is None:
+            sim = payload.get("simulated", [])
+            wall = payload.get("wall_seconds", 0.0)
+            text = (f"== {name} ==\nwall {wall:.2f}s, {len(sim)} simulated "
+                    f"entries (no --baseline: nothing to gate against)")
+            html_doc = regression_html([], title=name)
+            return text, html_doc, failures
+        results = perf_check(target, baseline, max_ratio)
+        failures += perf_failures(results)
+        return (regression_text(results),
+                regression_html(results, title=name), failures)
+    raise ValueError(f"{target}: metrics dumps have no report view; point "
+                     f"repro report at the matching .trace.json instead")
+
+
+def report_for_directory(target, baseline=None, max_ratio: float = 2.0
+                         ) -> Tuple[str, str, List[str]]:
+    """Report over a directory of BENCH records (``--baseline`` required).
+
+    Without a baseline the directory's ledger (if any) is reported
+    instead, so ``repro report traces-dir/`` does the obvious thing.
+    """
+    target = Path(target)
+    if baseline is not None:
+        results = perf_check(target, baseline, max_ratio)
+        failures = perf_failures(results)
+        return (regression_text(results),
+                regression_html(results, title=str(target)), failures)
+    ledger = target / "ledger.jsonl"
+    if ledger.exists():
+        return report_for_target(ledger, None, max_ratio)
+    raise ValueError(
+        f"{target}: directory has no ledger.jsonl; pass --baseline DIR to "
+        f"run the BENCH perf gate against it")

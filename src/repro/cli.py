@@ -13,7 +13,17 @@ Subcommands
 ``faults``  run one algorithm twice -- fault-free and under an injected
             fault schedule -- verify the recovered MST weight matches
             bit-for-bit, and report the recovery overhead;
+``report``  render an ASCII (and optionally self-contained HTML) report
+            from a recorded artifact: a ``.trace.json`` (critical path,
+            phase x PE heatmap, round imbalance), a run ledger
+            (``ledger.jsonl`` -- run history + latest-vs-previous diff),
+            or BENCH records vs ``--baseline`` (the perf-regression
+            gate; ``--check`` exits non-zero on failures);
 ``info``    show instance statistics of a saved ``.npz`` graph.
+
+Runs of ``mst``/``profile`` append one row to the run ledger when one is
+active (``REPRO_LEDGER`` or ``REPRO_TRACE_DIR`` set; see
+docs/observability.md).
 
 Examples
 --------
@@ -26,6 +36,8 @@ Examples
     python -m repro faults --algo boruvka --procs 16 \\
         --schedule "seed=7,pe_fail=0.05,msg_drop=0.01,corrupt=0.05"
     python -m repro info gnm.npz
+    python -m repro report traces/profile.trace.json --html report.html
+    python -m repro report benchmarks/results --baseline /tmp/base --check
 """
 
 from __future__ import annotations
@@ -166,6 +178,25 @@ def _add_faults(sub: argparse._SubParsersAction) -> None:
                         "the runtime invariant sanitizer")
 
 
+def _add_report(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "report",
+        help="render reports / perf-regression diffs from run artifacts")
+    p.add_argument("target",
+                   help="a .trace.json, a ledger.jsonl, a BENCH_*.json, or "
+                        "a directory of BENCH records")
+    p.add_argument("--baseline", default=None,
+                   help="baseline BENCH record or directory to gate the "
+                        "target against (regression table)")
+    p.add_argument("--html", default=None, metavar="OUT",
+                   help="also write a self-contained HTML report here")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when any gate fails (wall ratio > "
+                        "--max-ratio, simulated drift, schema problems)")
+    p.add_argument("--max-ratio", type=float, default=2.0,
+                   help="wall-clock regression tolerance (default 2.0)")
+
+
 def _add_info(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("info", help="show instance statistics")
     p.add_argument("graph", help="instance .npz")
@@ -197,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_sweep(sub)
     _add_profile(sub)
     _add_faults(sub)
+    _add_report(sub)
     _add_info(sub)
     args = parser.parse_args(argv)
     if getattr(args, "simsan", False):
@@ -210,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "profile": _cmd_profile,
         "faults": _cmd_faults,
+        "report": _cmd_report,
         "info": _cmd_info,
     }[args.command](args)
 
@@ -228,6 +261,8 @@ def _cmd_gen(args) -> int:
 
 
 def _cmd_mst(args) -> int:
+    import time
+
     from .core import BoruvkaConfig, FilterConfig, minimum_spanning_forest
     from .graphgen import load_npz, save_npz
     from .simmpi import Machine
@@ -239,9 +274,11 @@ def _cmd_mst(args) -> int:
                       local_preprocessing=not args.no_preprocessing)
     config = (FilterConfig(boruvka=b)
               if args.algorithm == "filter-boruvka" else b)
+    wall0 = time.perf_counter()
     result = minimum_spanning_forest(g.distribute(machine),
                                      algorithm=args.algorithm,
                                      config=config)
+    wall_seconds = time.perf_counter() - wall0
     print(f"instance        : {g.name} (n={g.n_vertices}, "
           f"m={g.n_undirected_edges})")
     print(f"machine         : {args.procs} procs x {args.threads} threads "
@@ -271,7 +308,26 @@ def _cmd_mst(args) -> int:
                              params={"algorithm": result.algorithm})
         save_npz(out, args.output)
         print(f"MSF saved       : {args.output}")
+    _append_ledger("cli", f"mst-{result.algorithm}", machine=machine,
+                   config={"instance": g.name, "algorithm": result.algorithm,
+                           "procs": args.procs, "threads": args.threads,
+                           "alltoall": args.alltoall},
+                   simulated=[{"label": f"{g.name}-{result.algorithm}"
+                                        f"-p{args.procs}",
+                               "simulated_seconds": result.elapsed}],
+                   rounds=getattr(result, "rounds", None),
+                   wall_seconds=wall_seconds)
     return 0
+
+
+def _append_ledger(kind, name, **kwargs) -> None:
+    """Append one run-ledger row when a ledger is active (else no-op)."""
+    from .obs import append_record, ledger_path, make_record
+
+    if ledger_path() is None:
+        return
+    path = append_record(make_record(kind, name, **kwargs))
+    print(f"ledger          : appended to {path}")
 
 
 def _cmd_cc(args) -> int:
@@ -314,9 +370,13 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    import time
+
     from .core import BoruvkaConfig, FilterConfig, minimum_spanning_forest
     from .graphgen import gen_family, load_npz
     from .obs import (
+        TruncatedTraceError,
+        analyze,
         chrome_trace,
         kernel_pool_table,
         progress_table,
@@ -336,9 +396,11 @@ def _cmd_profile(args) -> int:
                       base_case_min=args.base_case_min)
     config = (FilterConfig(boruvka=b)
               if args.algorithm == "filter-boruvka" else b)
+    wall0 = time.perf_counter()
     result = minimum_spanning_forest(g.distribute(machine),
                                      algorithm=args.algorithm,
                                      config=config)
+    wall_seconds = time.perf_counter() - wall0
     meta = {"instance": g.name, "algorithm": result.algorithm,
             "procs": args.procs, "threads": args.threads}
     # Default outputs live under REPRO_TRACE_DIR (./traces), not the CWD:
@@ -366,14 +428,76 @@ def _cmd_profile(args) -> int:
     print(f"trace           : {trace_out} "
           f"({'valid' if not problems else 'INVALID'})")
     print(f"metrics         : {metrics_out}")
+    critpath_summary = None
+    try:
+        analysis = analyze(machine.events)
+        critpath_summary = analysis.summary()
+        print(f"critical path   : {analysis.length * 1e3:.4f} ms "
+              f"(anchor PE {analysis.anchor_rank}; "
+              f"compute {analysis.by_kind.get('compute', 0.0) * 1e3:.4f} ms, "
+              f"collective "
+              f"{analysis.by_kind.get('collective', 0.0) * 1e3:.4f} ms)")
+        print(f"wave estimate   : {analysis.wave_benefit_s * 1e3:.4f} ms "
+              f"overlappable slack across {len(analysis.rounds)} rounds")
+    except TruncatedTraceError as exc:
+        print(f"critical path   : unavailable -- {exc}", file=sys.stderr)
     print()
     print(progress_table(machine.metrics))
     print()
     print(kernel_pool_table(machine.metrics))
+    _append_ledger("cli", f"profile-{result.algorithm}", machine=machine,
+                   config={"instance": g.name, "algorithm": result.algorithm,
+                           "procs": args.procs, "threads": args.threads,
+                           "alltoall": args.alltoall},
+                   simulated=[{"label": f"{g.name}-{result.algorithm}"
+                                        f"-p{args.procs}",
+                               "simulated_seconds": result.elapsed}],
+                   rounds=getattr(result, "rounds", None),
+                   wall_seconds=wall_seconds,
+                   critical_path=critpath_summary)
     if problems:
         for msg in problems[:10]:
             print(f"trace problem   : {msg}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .analysis import report_for_directory, report_for_target
+
+    target = Path(args.target)
+    if not target.exists():
+        print(f"repro report: {target}: no such file or directory",
+              file=sys.stderr)
+        return 2
+    try:
+        if target.is_dir():
+            text, html_doc, failures = report_for_directory(
+                target, args.baseline, args.max_ratio)
+        else:
+            text, html_doc, failures = report_for_target(
+                target, args.baseline, args.max_ratio)
+    except ValueError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    if args.html:
+        out = Path(args.html)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(html_doc)
+        print(f"\nHTML report: {out}")
+    if failures:
+        print()
+        for msg in failures:
+            print(f"CHECK FAIL: {msg}",
+                  file=sys.stderr if args.check else sys.stdout)
+        if args.check:
+            return 1
+    elif args.check:
+        print("\ncheck: all gates pass")
     return 0
 
 

@@ -199,7 +199,7 @@ class RoundScheduler:
             # Both stats were needed for control flow anyway; the hooks
             # reuse them so tracing never issues extra collectives.
             observe_round_start(machine, run.rounds, stats.vertices,
-                                stats.edges)
+                                stats.edges, label=body.label)
             machine.engine.note_round(run.rounds)
             converged = body.round(run.rounds)
             if ckpt is not None:
@@ -210,7 +210,7 @@ class RoundScheduler:
                         ckpt.restore(run, failed)
                     continue
             machine.checkpoint(f"{body.label}_round_{run.rounds}")
-            observe_round_end(machine, run.rounds)
+            observe_round_end(machine, run.rounds, label=body.label)
             run.rounds += 1
             rounds_done += 1
             if converged:

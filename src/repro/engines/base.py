@@ -40,7 +40,7 @@ invariant over the full (engine x algorithm x graph family) matrix.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .tasks import run_task
 
@@ -89,6 +89,12 @@ class ExecutionEngine:
     def __init__(self) -> None:
         self._machine = None
         self._round = -1
+        # Host-side dispatch statistics for the run ledger.  Purely
+        # diagnostic (never read by simulation code), so tracking them
+        # cannot perturb simulated quantities.
+        self._util: Dict[str, float] = {
+            "pe_map_calls": 0, "tasks_inline": 0,
+            "tasks_offloaded": 0, "offloaded_bytes": 0.0}
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -114,6 +120,20 @@ class ExecutionEngine:
     def reset(self) -> None:
         """Drop engine state for a machine reset (pools respawn lazily)."""
         self._round = -1
+        self._util = {"pe_map_calls": 0, "tasks_inline": 0,
+                      "tasks_offloaded": 0, "offloaded_bytes": 0.0}
+
+    def utilization(self) -> Dict[str, float]:
+        """Host-side dispatch statistics for the run ledger.
+
+        Counts of :meth:`pe_map` invocations and of per-PE tasks executed
+        in-line vs shipped to workers (with the shipped payload bytes);
+        fan-out engines extend the dict with pool facts.  Wall-clock-side
+        observability only -- nothing simulated depends on these numbers.
+        """
+        out: Dict[str, float] = dict(self._util)
+        out["engine"] = self.name
+        return out
 
     def close(self) -> None:
         """Release engine resources (worker pools, shared memory)."""
@@ -139,11 +159,13 @@ class ExecutionEngine:
         reference semantics every fan-out implementation must reproduce
         exactly.
         """
+        self._util["pe_map_calls"] += 1
         out: List[Optional[dict]] = []
         for rank, payload in enumerate(payloads):
             if payload is None:
                 out.append(None)
                 continue
+            self._util["tasks_inline"] += 1
             try:
                 out.append(run_task(task, payload))
             except EngineError:

@@ -205,6 +205,10 @@ class MultiprocessEngine(ExecutionEngine):
         total = sum(payload_nbytes(p) for p in payloads if p is not None)
         if self.workers < 1 or total < self.min_offload_bytes:
             return super().pe_map(task, payloads)
+        self._util["pe_map_calls"] += 1
+        self._util["tasks_offloaded"] += sum(
+            1 for p in payloads if p is not None)
+        self._util["offloaded_bytes"] += float(total)
         pool = self._ensure_pool()
         segments: List[Optional[shared_memory.SharedMemory]] = []
         futures = []
@@ -251,6 +255,14 @@ class MultiprocessEngine(ExecutionEngine):
                         pass
 
     # ------------------------------------------------------------------
+    def utilization(self) -> dict:
+        """Dispatch statistics plus pool facts for the run ledger."""
+        out = super().utilization()
+        out["workers"] = self.workers
+        out["pool_generation"] = self.generation
+        out["min_offload_bytes"] = self.min_offload_bytes
+        return out
+
     def describe(self) -> str:
         """One-line human description (CLI / docs)."""
         return (f"multiprocess engine ({self.workers} workers, "

@@ -15,7 +15,13 @@ without a debugger:
 * exporters -- Chrome/Perfetto trace JSON (one pseudo-thread per PE),
   a JSON metrics dump, and an ASCII per-round progress table;
 * :func:`validate_chrome_trace` -- the schema checker CI's trace-smoke
-  job runs on every emitted artifact.
+  job runs on every emitted artifact, plus the ``schema_version``
+  compatibility policy shared by every exported JSON artifact;
+* :mod:`~repro.obs.critpath` -- the offline critical-path analyzer
+  (span-DAG reconstruction, per-PE slack, per-round imbalance,
+  wave-pipelining estimates) over a recorded event stream;
+* :mod:`~repro.obs.ledger` -- the append-only JSONL run ledger every
+  CLI/benchmark run appends its config + outcome row to.
 
 Hard invariant (tested in ``tests/test_obs.py``): with tracing off *and*
 on, simulated seconds, cost charging and sanitizer behaviour are
@@ -40,7 +46,23 @@ from .export import (
     write_chrome_trace,
     write_metrics,
 )
-from .validate import validate_chrome_trace
+from .validate import (
+    SCHEMA_VERSION,
+    check_schema_version,
+    validate_chrome_trace,
+    validate_ledger_record,
+)
+from .critpath import (
+    CritPathAnalysis,
+    TruncatedTraceError,
+    analyze,
+)
+from .ledger import (
+    append_record,
+    ledger_path,
+    make_record,
+    read_ledger,
+)
 from .hooks import (
     observe_exchange,
     observe_filter_level,
@@ -66,7 +88,17 @@ __all__ = [
     "progress_table",
     "write_chrome_trace",
     "write_metrics",
+    "SCHEMA_VERSION",
+    "check_schema_version",
     "validate_chrome_trace",
+    "validate_ledger_record",
+    "CritPathAnalysis",
+    "TruncatedTraceError",
+    "analyze",
+    "append_record",
+    "ledger_path",
+    "make_record",
+    "read_ledger",
     "observe_exchange",
     "observe_filter_level",
     "observe_filter_survivors",

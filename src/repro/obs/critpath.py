@@ -1,0 +1,598 @@
+"""Offline critical-path analysis of a traced simulated run.
+
+The paper argues from attribution: Fig. 6 splits time into phases, Fig. 2
+splits all-to-all cost into startups vs volume, and Section VII reasons
+about per-round shrink rates.  This module answers the sharper question
+those figures gesture at -- *which PE and which collective actually
+determined the simulated makespan* -- by reconstructing the per-PE span
+DAG from an :class:`~repro.obs.tracer.EventTracer` stream (or an exported
+Chrome trace) and walking the synchronisation edges backwards:
+
+* every collective span records, per participating PE, the simulated
+  clock at entry (``B``) and exit (``E``);
+* the machine's collective semantics are ``clock[ranks] = max(entry
+  clocks) + per_rank_cost``, so the *straggler* -- the participant with
+  the latest entry clock -- is the unique predecessor that determined
+  when the collective fired;
+* the critical path is the backward chain anchor -> straggler ->
+  straggler, alternating local-compute segments (clock advanced by
+  ``Machine.charge`` between collectives) and collective segments.
+
+Everything here is strictly offline: the analyzer only *reads* recorded
+events and never touches machine state, so it lives outside the
+tracing-invisibility invariant entirely (see docs/observability.md).
+
+Exactness
+---------
+Analyzed directly from a live :class:`EventTracer`, the reported
+:attr:`CritPathAnalysis.length` is the final simulated clock **bit-for-
+bit** (it is the same float the machine stored), and
+:func:`phase_breakdown` replays the machine's exclusive phase accounting
+with identical per-PE arithmetic, so its totals equal
+``Machine.phase_times`` exactly.  Analyzed from an exported Chrome trace,
+timestamps round-trip through microseconds and may differ in the last
+ulp; the structure of the path is unaffected.
+
+A trace whose ring buffer dropped events is *refused*
+(:class:`TruncatedTraceError`): the missing prefix would silently break
+span matching and misattribute the path.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tracer import EventTracer
+
+#: Default message-startup latency used for the startup-share *estimate*
+#: when the caller provides none (mirrors ``CostModel.alpha``).
+DEFAULT_ALPHA = 2e-6
+
+
+class TruncatedTraceError(ValueError):
+    """The trace ring buffer dropped events; the stream cannot be analyzed.
+
+    A truncated stream is missing its oldest spans, so span matching --
+    and therefore the reconstructed DAG -- would be silently wrong.  Raise
+    ``REPRO_TRACE_CAP`` (default 2^18 events) and re-record instead.
+    """
+
+
+@dataclass(frozen=True)
+class CollectiveInstance:
+    """One collective execution reconstructed from its per-PE spans.
+
+    ``ranks[i]`` entered at simulated clock ``begins[i]`` and left at
+    ``ends[i]``; the machine synchronised everyone to ``sync_time``
+    (the latest entry) before charging per-rank costs.
+    """
+
+    name: str
+    round: int
+    phase: Optional[str]
+    ranks: Tuple[int, ...]
+    begins: Tuple[float, ...]
+    ends: Tuple[float, ...]
+
+    @property
+    def sync_time(self) -> float:
+        """The barrier instant: the latest participant entry clock."""
+        return max(self.begins)
+
+    @property
+    def straggler(self) -> int:
+        """The participant whose late arrival determined :attr:`sync_time`."""
+        return self.ranks[max(range(len(self.ranks)),
+                              key=lambda i: self.begins[i])]
+
+    @property
+    def finish(self) -> float:
+        """The latest participant exit clock."""
+        return max(self.ends)
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One interval of the critical path on one PE's timeline.
+
+    ``kind`` is ``"compute"`` (clock advanced by local charges between
+    collectives) or ``"collective"`` (the sync-to-exit interval of the
+    collective named ``name``).
+    """
+
+    rank: int
+    start: float
+    end: float
+    kind: str
+    name: str
+    phase: Optional[str]
+    round: int
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds covered by this segment."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RoundImbalance:
+    """Per-round load-imbalance statistics over the participating PEs.
+
+    ``attribution`` splits the straggler PE's in-round time into
+    ``compute`` (outside collective spans), ``wait`` (arrival-to-sync
+    inside spans), ``comm`` (sync-to-exit inside spans) and
+    ``startup_alpha_est`` (the estimated message-startup share of
+    ``comm``).
+    """
+
+    round: int
+    max_s: float
+    mean_s: float
+    p99_s: float
+    straggler: int
+    attribution: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class WaveRound:
+    """Wave-pipelining estimate for one round boundary.
+
+    ``slack_mean_s``/``slack_max_s`` describe how long PEs idled at the
+    boundary after round ``round``; ``prologue_s`` is the post-sync
+    duration of round ``round + 1``'s first collective; ``benefit_s`` is
+    the overlappable portion -- ``min(prologue, mean slack)``, an
+    optimistic upper bound on what wave-pipelining the prologue into the
+    barrier could save (docs/rounds.md, ROADMAP wave-scheduler item).
+    """
+
+    round: int
+    slack_mean_s: float
+    slack_max_s: float
+    prologue_s: float
+    benefit_s: float
+
+
+@dataclass
+class CritPathAnalysis:
+    """Full analysis of one traced run (see :func:`analyze`).
+
+    ``length`` equals the final simulated clock witnessed by the trace;
+    ``segments`` tile ``[0, length]`` in chronological order.
+    """
+
+    n_procs: int
+    #: Simulated critical-path length == final simulated seconds.
+    length: float
+    #: PE whose clock finished last (the path anchor).
+    anchor_rank: int
+    #: Chronological critical-path segments tiling ``[0, length]``.
+    segments: List[PathSegment] = field(default_factory=list)
+    #: Path seconds by ``compute`` / ``collective`` / ``startup_alpha_est``.
+    by_kind: Dict[str, float] = field(default_factory=dict)
+    #: Collective path seconds by operation name.
+    by_op: Dict[str, float] = field(default_factory=dict)
+    #: Exclusive per-phase simulated seconds (max over PEs), Fig. 6 shaped.
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: Final witnessed clock per PE (0.0 for PEs without events).
+    per_pe_finish: List[float] = field(default_factory=list)
+    #: ``length`` minus each PE's final clock (idle tail slack).
+    per_pe_slack: List[float] = field(default_factory=list)
+    #: Per-round imbalance statistics (rounds seen in the trace).
+    rounds: List[RoundImbalance] = field(default_factory=list)
+    #: Per-boundary wave-pipelining estimates.
+    wave: List[WaveRound] = field(default_factory=list)
+    #: Total estimated wave-pipelining benefit (sum of per-round benefits).
+    wave_benefit_s: float = 0.0
+
+    def summary(self) -> Dict:
+        """Compact JSON-ready summary (the ledger's ``critical_path`` field)."""
+        return {
+            "length_s": self.length,
+            "anchor_rank": self.anchor_rank,
+            "n_segments": len(self.segments),
+            "by_kind": dict(self.by_kind),
+            "by_op": dict(self.by_op),
+            "phase_times": dict(self.phase_times),
+            "slack_max_s": max(self.per_pe_slack, default=0.0),
+            "slack_mean_s": (sum(self.per_pe_slack) / len(self.per_pe_slack)
+                             if self.per_pe_slack else 0.0),
+            "rounds": len(self.rounds),
+            "wave_benefit_s": self.wave_benefit_s,
+        }
+
+
+# ----------------------------------------------------------------------
+# Event normalisation: tracer tuples or Chrome-trace JSON -> tuples.
+# ----------------------------------------------------------------------
+def _events_from_tracer(tracer: EventTracer) -> List[Tuple]:
+    """Snapshot a tracer's retained events, refusing truncated streams."""
+    if tracer.dropped:
+        raise TruncatedTraceError(
+            f"trace ring buffer dropped {tracer.dropped} events (capacity "
+            f"{tracer.capacity}); the span stream is incomplete -- raise "
+            f"REPRO_TRACE_CAP and re-record before analyzing")
+    return list(tracer.events())
+
+
+def _events_from_chrome(payload: Dict) -> Tuple[List[Tuple], Optional[int]]:
+    """Convert Chrome-trace JSON back into tracer-shaped event tuples.
+
+    Timestamps are divided back from microseconds to seconds, so values
+    may differ from the live tracer's in the last ulp (module docstring).
+    Returns ``(events, n_procs)`` with ``n_procs`` from ``otherData`` when
+    present.
+    """
+    other = payload.get("otherData") or {}
+    dropped = int(other.get("dropped_events", 0) or 0)
+    if dropped:
+        raise TruncatedTraceError(
+            f"trace reports {dropped} dropped events (otherData."
+            f"dropped_events); the span stream is incomplete -- raise "
+            f"REPRO_TRACE_CAP and re-record before analyzing")
+    events: List[Tuple] = []
+    for ev in payload.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        args = ev.get("args") or {}
+        tid = ev.get("tid", 0)
+        rank = tid - 1 if isinstance(tid, int) and tid >= 1 else -1
+        ts = float(ev.get("ts", 0.0)) / 1e6
+        value = None
+        if ph == "C" and args:
+            value = next(iter(args.values()))
+        events.append((ph, ev.get("name", ""), ev.get("cat", ""), rank,
+                       ts, 0.0, int(args.get("round", -1)),
+                       args.get("phase"), value))
+    n_procs = other.get("n_procs")
+    return events, (int(n_procs) if n_procs is not None else None)
+
+
+def _normalize(source, n_procs: Optional[int]) -> Tuple[List[Tuple], int]:
+    """Accept a tracer or a Chrome-trace payload; return (events, n_procs)."""
+    if isinstance(source, EventTracer):
+        events = _events_from_tracer(source)
+        return events, (n_procs if n_procs is not None else source.n_procs)
+    if isinstance(source, dict):
+        events, payload_procs = _events_from_chrome(source)
+        if n_procs is None:
+            n_procs = payload_procs
+    elif isinstance(source, (list, tuple)):
+        events = list(source)
+    else:
+        raise TypeError(
+            f"analyze() takes an EventTracer, a Chrome-trace payload dict "
+            f"or an event-tuple sequence, got {type(source).__name__}")
+    if n_procs is None:
+        n_procs = max((ev[3] for ev in events), default=-1) + 1
+    return events, max(int(n_procs), 1)
+
+
+# ----------------------------------------------------------------------
+# DAG reconstruction.
+# ----------------------------------------------------------------------
+def collect_instances(events: Sequence[Tuple]) -> List[CollectiveInstance]:
+    """Group per-PE collective spans into :class:`CollectiveInstance` s.
+
+    Recording is single-threaded, so one collective's ``B`` events form a
+    contiguous run in the stream (one per participant, emitted by
+    ``begin_ranks``), as do its ``E`` events; ``B`` and ``E`` runs of the
+    same name pair up FIFO because collectives never nest within a rank.
+    """
+    b_runs: Dict[str, List[Tuple[List, int, Optional[str]]]] = {}
+    instances: List[Tuple[int, CollectiveInstance]] = []
+    run_name: Optional[str] = None
+    run_ph: Optional[str] = None
+    run: List[Tuple[int, float]] = []
+    run_round, run_phase = -1, None
+    seq = 0
+
+    def flush() -> None:
+        nonlocal run_name, run_ph, run, seq
+        if run_name is None:
+            return
+        if run_ph == "B":
+            b_runs.setdefault(run_name, []).append(
+                (run, run_round, run_phase))
+        else:  # E run: close the oldest open B run of the same name
+            pending = b_runs.get(run_name)
+            if pending:
+                begins, rnd, phase = pending.pop(0)
+                bmap = dict(begins)
+                ranks = tuple(r for r, _ in begins)
+                ends_map = dict(run)
+                instances.append((seq, CollectiveInstance(
+                    name=run_name, round=rnd, phase=phase, ranks=ranks,
+                    begins=tuple(bmap[r] for r in ranks),
+                    ends=tuple(ends_map.get(r, bmap[r]) for r in ranks))))
+                seq += 1
+        run_name, run_ph, run = None, None, []
+
+    for ev in events:
+        ph, name, cat, rank, ts_sim = ev[0], ev[1], ev[2], ev[3], ev[4]
+        if cat != "collective" or ph not in ("B", "E"):
+            flush()
+            continue
+        if run_name == name and run_ph == ph:
+            run.append((rank, ts_sim))
+            continue
+        flush()
+        run_name, run_ph = name, ph
+        run = [(rank, ts_sim)]
+        run_round, run_phase = ev[6], ev[7]
+    flush()
+    return [inst for _, inst in instances]
+
+
+def _startup_estimate(name: str, group_size: int, alpha: float) -> float:
+    """Estimated message-startup (alpha) share of one collective's cost.
+
+    Heuristic keyed on the operation name, mirroring the cost model
+    (docs/cost_model.md): direct all-to-all pays ``alpha * p``, a grid hop
+    ``alpha * sqrt(p)``, a hypercube dimension one startup, and tree
+    collectives ``alpha * ceil(log2 p)``.
+    """
+    if group_size <= 1:
+        return alpha
+    if name.startswith("alltoallv_direct"):
+        return alpha * group_size
+    if name.startswith("alltoallv_grid"):
+        return alpha * math.sqrt(group_size)
+    if name.startswith("alltoallv_hypercube"):
+        return alpha
+    return alpha * math.ceil(math.log2(group_size))
+
+
+def critical_path(events: Sequence[Tuple], n_procs: int,
+                  alpha: float = DEFAULT_ALPHA,
+                  ) -> Tuple[List[PathSegment], float, int,
+                             Dict[str, float], Dict[str, float]]:
+    """Walk the span DAG backwards from the last event to time zero.
+
+    Returns ``(segments, length, anchor_rank, by_kind, by_op)`` where
+    ``segments`` tile ``[0, length]`` chronologically and ``length`` is
+    the latest witnessed per-PE clock (bit-for-bit the machine's final
+    clock when the run ends in a machine-wide collective, as every
+    algorithm here does).
+    """
+    instances = collect_instances(events)
+    # Per-rank chronological index of (exit clock, instance).
+    per_rank_ends: Dict[int, List[float]] = {}
+    per_rank_inst: Dict[int, List[CollectiveInstance]] = {}
+    for inst in instances:
+        for r, e in zip(inst.ranks, inst.ends):
+            per_rank_ends.setdefault(r, []).append(e)
+            per_rank_inst.setdefault(r, []).append(inst)
+
+    anchor_rank, length = -1, 0.0
+    for ev in events:
+        if ev[3] >= 0 and ev[4] >= length:
+            length, anchor_rank = ev[4], ev[3]
+    if anchor_rank < 0:
+        return [], 0.0, -1, {}, {}
+
+    segments: List[PathSegment] = []
+    by_kind: Dict[str, float] = {"compute": 0.0, "collective": 0.0,
+                                 "startup_alpha_est": 0.0}
+    by_op: Dict[str, float] = {}
+    rank, t = anchor_rank, length
+    last_phase: Optional[str] = None
+    last_round = -1
+    for _ in range(2 * len(instances) + 2):
+        ends = per_rank_ends.get(rank, [])
+        idx = bisect_right(ends, t) - 1
+        if idx < 0:
+            if t > 0.0:
+                segments.append(PathSegment(rank, 0.0, t, "compute",
+                                            "local", last_phase, last_round))
+                by_kind["compute"] += t
+            break
+        inst = per_rank_inst[rank][idx]
+        exit_clock = ends[idx]
+        if t > exit_clock:
+            segments.append(PathSegment(rank, exit_clock, t, "compute",
+                                        "local", inst.phase, inst.round))
+            by_kind["compute"] += t - exit_clock
+        sync = inst.sync_time
+        if exit_clock > sync:
+            segments.append(PathSegment(rank, sync, exit_clock, "collective",
+                                        inst.name, inst.phase, inst.round))
+            dur = exit_clock - sync
+            by_kind["collective"] += dur
+            by_op[inst.name] = by_op.get(inst.name, 0.0) + dur
+            by_kind["startup_alpha_est"] += min(
+                dur, _startup_estimate(inst.name, len(inst.ranks), alpha))
+        next_rank, next_t = inst.straggler, sync
+        if next_t >= t:  # zero-cost collective: force monotone progress
+            next_t = min(next_t, t)
+            if next_rank == rank and next_t == t:
+                # No progress possible (degenerate zero-duration span):
+                # close the path with the remaining prefix as compute so
+                # the segments still tile [0, length].
+                if t > 0.0:
+                    segments.append(PathSegment(rank, 0.0, t, "compute",
+                                                "local", inst.phase,
+                                                inst.round))
+                    by_kind["compute"] += t
+                break
+        rank, t, last_phase, last_round = (next_rank, next_t, inst.phase,
+                                           inst.round)
+        if t <= 0.0:
+            break
+    segments.reverse()
+    return segments, length, anchor_rank, by_kind, by_op
+
+
+# ----------------------------------------------------------------------
+# Phase attribution (Fig. 6): exact replay of the machine's accounting.
+# ----------------------------------------------------------------------
+def phase_breakdown(events: Sequence[Tuple], n_procs: int
+                    ) -> Tuple[Dict[str, float], Dict[str, np.ndarray]]:
+    """Exclusive per-phase time replayed from the ``phase`` span events.
+
+    Replays exactly the arithmetic of ``Machine.phase`` per PE (freeze the
+    outer phase at inner entry, restart its window at inner exit), so on a
+    live tracer the returned totals equal ``Machine.phase_times`` --
+    and the per-PE arrays ``Machine.phase_times_per_pe`` -- bit-for-bit.
+    Returns ``(phase -> max over PEs, phase -> per-PE array)``.
+    """
+    per_pe: Dict[str, np.ndarray] = {}
+    stacks: Dict[int, List[List]] = {}
+
+    def acc(name: str, rank: int, delta: float) -> None:
+        arr = per_pe.get(name)
+        if arr is None:
+            arr = per_pe[name] = np.zeros(n_procs, dtype=np.float64)
+        arr[rank] += delta
+
+    for ev in events:
+        ph, name, cat, rank, ts = ev[0], ev[1], ev[2], ev[3], ev[4]
+        if cat != "phase" or rank < 0:
+            continue
+        stack = stacks.setdefault(rank, [])
+        if ph == "B":
+            if stack:
+                outer = stack[-1]
+                acc(outer[0], rank, ts - outer[1])
+            stack.append([name, ts])
+        elif ph == "E" and stack:
+            top = stack.pop()
+            acc(top[0], rank, ts - top[1])
+            if stack:
+                stack[-1][1] = ts
+    totals = {name: float(arr.max()) for name, arr in per_pe.items()}
+    return totals, per_pe
+
+
+# ----------------------------------------------------------------------
+# Per-round imbalance and the wave-pipelining estimate.
+# ----------------------------------------------------------------------
+def _round_windows(events: Sequence[Tuple]
+                   ) -> Dict[int, Dict[int, Tuple[float, float]]]:
+    """Per round, per rank: (first, last) witnessed simulated clock."""
+    windows: Dict[int, Dict[int, Tuple[float, float]]] = {}
+    for ev in events:
+        rnd, rank, ts = ev[6], ev[3], ev[4]
+        if rnd < 0 or rank < 0:
+            continue
+        ranks = windows.setdefault(rnd, {})
+        lo, hi = ranks.get(rank, (ts, ts))
+        ranks[rank] = (min(lo, ts), max(hi, ts))
+    return windows
+
+
+def round_imbalance(events: Sequence[Tuple], n_procs: int,
+                    alpha: float = DEFAULT_ALPHA) -> List[RoundImbalance]:
+    """Max/mean/p99 per-PE time per round, with straggler attribution.
+
+    A PE's time in a round is the span between its first and last
+    round-tagged event; PEs without round events contribute zero.  The
+    straggler (max time) gets its window split into compute / wait / comm
+    / estimated startup from its collective spans in that round.
+    """
+    windows = _round_windows(events)
+    by_round_inst: Dict[int, List[CollectiveInstance]] = {}
+    for inst in collect_instances(events):
+        by_round_inst.setdefault(inst.round, []).append(inst)
+    out: List[RoundImbalance] = []
+    for rnd in sorted(windows):
+        ranks = windows[rnd]
+        times = np.zeros(n_procs, dtype=np.float64)
+        for r, (lo, hi) in ranks.items():
+            if r < n_procs:
+                times[r] = hi - lo
+        straggler = int(times.argmax())
+        wait = comm = startup = 0.0
+        for inst in by_round_inst.get(rnd, ()):
+            if straggler not in inst.ranks:
+                continue
+            i = inst.ranks.index(straggler)
+            sync = inst.sync_time
+            wait += max(sync - inst.begins[i], 0.0)
+            dur = inst.ends[i] - max(sync, inst.begins[i])
+            comm += max(dur, 0.0)
+            startup += min(max(dur, 0.0),
+                           _startup_estimate(inst.name, len(inst.ranks),
+                                             alpha))
+        compute = max(float(times[straggler]) - wait - comm, 0.0)
+        out.append(RoundImbalance(
+            round=rnd,
+            max_s=float(times.max()),
+            mean_s=float(times.mean()),
+            p99_s=float(np.percentile(times, 99)),
+            straggler=straggler,
+            attribution={"compute": compute, "wait": wait, "comm": comm,
+                         "startup_alpha_est": min(startup, comm)},
+        ))
+    return out
+
+
+def wave_pipelining_estimate(events: Sequence[Tuple], n_procs: int
+                             ) -> Tuple[List[WaveRound], float]:
+    """Per-boundary estimate of the overlappable wave-pipelining benefit.
+
+    At the boundary after round ``n``, each PE's slack is how long it
+    idled before the slowest PE arrived; round ``n+1``'s prologue is the
+    post-sync duration of its first collective.  The benefit estimate is
+    ``min(prologue, mean slack)`` per boundary -- an optimistic upper
+    bound on what executing the prologue inside the barrier could save
+    (the ROADMAP wave-scheduler item; see docs/rounds.md).
+    """
+    windows = _round_windows(events)
+    first_inst: Dict[int, CollectiveInstance] = {}
+    for inst in collect_instances(events):
+        if inst.round >= 0 and inst.round not in first_inst:
+            first_inst[inst.round] = inst
+    out: List[WaveRound] = []
+    total = 0.0
+    rounds = sorted(windows)
+    for rnd in rounds:
+        nxt = first_inst.get(rnd + 1)
+        if nxt is None:
+            continue
+        ends = [hi for _, hi in windows[rnd].values()]
+        boundary = max(ends)
+        slack = np.asarray([boundary - e for e in ends], dtype=np.float64)
+        prologue = max(nxt.finish - nxt.sync_time, 0.0)
+        benefit = min(prologue, float(slack.mean()))
+        out.append(WaveRound(round=rnd, slack_mean_s=float(slack.mean()),
+                             slack_max_s=float(slack.max()),
+                             prologue_s=prologue, benefit_s=benefit))
+        total += benefit
+    return out, total
+
+
+# ----------------------------------------------------------------------
+# Entry point.
+# ----------------------------------------------------------------------
+def analyze(source, n_procs: Optional[int] = None,
+            alpha: float = DEFAULT_ALPHA) -> CritPathAnalysis:
+    """Analyze one traced run end to end.
+
+    ``source`` is a live :class:`EventTracer`, a Chrome-trace payload
+    dict (as produced by :func:`repro.obs.export.chrome_trace`), or a raw
+    event-tuple sequence.  Raises :class:`TruncatedTraceError` when the
+    stream dropped events.  ``alpha`` feeds the startup-share estimates
+    only; every other number is read directly from the recorded clocks.
+    """
+    events, n_procs = _normalize(source, n_procs)
+    segments, length, anchor, by_kind, by_op = critical_path(
+        events, n_procs, alpha)
+    phase_totals, _ = phase_breakdown(events, n_procs)
+    finish = [0.0] * n_procs
+    for ev in events:
+        if 0 <= ev[3] < n_procs and ev[4] > finish[ev[3]]:
+            finish[ev[3]] = ev[4]
+    slack = [length - f for f in finish]
+    rounds = round_imbalance(events, n_procs, alpha)
+    wave, wave_total = wave_pipelining_estimate(events, n_procs)
+    return CritPathAnalysis(
+        n_procs=n_procs, length=length, anchor_rank=anchor,
+        segments=segments, by_kind=by_kind, by_op=by_op,
+        phase_times=phase_totals, per_pe_finish=finish, per_pe_slack=slack,
+        rounds=rounds, wave=wave, wave_benefit_s=wave_total)

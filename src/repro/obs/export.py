@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from .metrics import MetricsRegistry
 from .tracer import EventTracer
+from .validate import SCHEMA_VERSION
 
 #: pid used for the single simulated-machine process in exported traces.
 TRACE_PID = 1
@@ -93,7 +95,13 @@ def chrome_trace(tracer: EventTracer,
             "tid": TID_BASE + r, "args": {"sort_index": r},
         })
     events.extend(_event_json(ev, deterministic) for ev in tracer.events())
+    if tracer.dropped:
+        warnings.warn(
+            f"trace ring buffer dropped {tracer.dropped} events (capacity "
+            f"{tracer.capacity}); the exported trace is truncated -- raise "
+            f"REPRO_TRACE_CAP to keep the full stream", stacklevel=2)
     other = {
+        "schema_version": SCHEMA_VERSION,
         "n_procs": tracer.n_procs,
         "n_events": len(tracer),
         "dropped_events": tracer.dropped,
@@ -138,6 +146,7 @@ def metrics_to_dict(registry: MetricsRegistry,
         counters = [(k, c) for k, c in counters
                     if not k.endswith("/host_seconds")]
     return {
+        "schema_version": SCHEMA_VERSION,
         "counters": {k: c.value for k, c in counters},
         "gauges": {k: {"value": g.value, "max": g.max}
                    for k, g in sorted(registry.gauges().items())},
@@ -224,8 +233,23 @@ def kernel_pool_table(registry: MetricsRegistry, top: int = 10) -> str:
         lines.append(f"buffer pool: {hits} hits / {misses} misses "
                      f"({rate:.0f}% reuse, {reused / 2**20:.1f} MiB "
                      f"served from pool)")
+    dropped = _dropped_events(registry)
+    if dropped:
+        lines.append(_truncation_warning(dropped))
     return "\n".join(lines) if lines else \
         "(no kernel/pool counters recorded)"
+
+
+def _dropped_events(registry: MetricsRegistry) -> int:
+    """Ring-buffer drops mirrored into the ``trace/dropped_events`` counter."""
+    counter = registry.counters().get("trace/dropped_events")
+    return int(counter.value) if counter is not None else 0
+
+
+def _truncation_warning(dropped: int) -> str:
+    """One-line truncated-trace warning shown in table exports."""
+    return (f"WARNING: trace ring buffer dropped {dropped} events -- "
+            f"per-round data above is incomplete (raise REPRO_TRACE_CAP)")
 
 
 def progress_table(registry: MetricsRegistry) -> str:
@@ -240,6 +264,7 @@ def progress_table(registry: MetricsRegistry) -> str:
     present = [(name, hdr) for name, hdr in ROUND_COLUMNS if name in series]
     if not present:
         return "(no per-round series recorded)"
+    dropped = _dropped_events(registry)
     steps = sorted({step for name, _ in present
                     for step, _ in series[name].points})
     by_col = {name: dict(series[name].points) for name, _ in present}
@@ -254,4 +279,6 @@ def progress_table(registry: MetricsRegistry) -> str:
                                for c, cell in enumerate(r)))
         if idx == 0:
             lines.append("  ".join("-" * w for w in widths))
+    if dropped:
+        lines.append(_truncation_warning(dropped))
     return "\n".join(lines)

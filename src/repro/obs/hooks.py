@@ -17,12 +17,15 @@ import numpy as np
 
 
 def observe_round_start(machine, round_no: int, vertices: int,
-                        edges: int) -> None:
+                        edges: int, label: str = "round") -> None:
     """Record the state of the contracted graph entering one Borůvka round.
 
     ``vertices``/``edges`` must be values the driver already computed for
     its own control flow -- recomputing them here would issue extra
-    collectives and break the tracing-invisibility invariant.
+    collectives and break the tracing-invisibility invariant.  ``label`` is
+    the round body's name (:attr:`repro.core.rounds.RoundBody.label`),
+    stamped onto the boundary markers so offline analyzers can tell which
+    loop a round belongs to.
     """
     ev, mx = machine.events, machine.metrics
     if ev is None and mx is None:
@@ -38,15 +41,21 @@ def observe_round_start(machine, round_no: int, vertices: int,
         mx.series("round/edges").record(round_no, edges)
         mx.gauge("rounds").set(round_no + 1)
         mx.scratch["round_bytes0"] = machine.bytes_communicated
+        # Per-PE clock snapshot for the round-end load-imbalance stats;
+        # a copy of values the machine already holds (read-only on it).
+        mx.scratch["round_clock0"] = machine.clock.copy()
         pe = mx.pe_counter("alltoall/sent_bytes_per_pe", machine.n_procs)
         mx.scratch["round_pe_bytes0"] = pe.values.copy()
 
 
-def observe_round_end(machine, round_no: int) -> None:
+def observe_round_end(machine, round_no: int, label: str = "round") -> None:
     """Record per-round deltas after one Borůvka round completed.
 
-    Derives the round's communicated bytes, per-PE clock skew and
-    send-volume imbalance from the snapshots taken at round start.
+    Derives the round's communicated bytes, per-PE clock skew, send-volume
+    imbalance and per-PE time statistics (max/mean/p99 plus the straggler
+    rank -- the load-imbalance inputs of the critical-path analyzer) from
+    the snapshots taken at round start, and closes the round with a
+    boundary marker on the tracer.
     """
     mx = machine.metrics
     if mx is not None:
@@ -56,6 +65,16 @@ def observe_round_end(machine, round_no: int) -> None:
         bytes0 = mx.scratch.pop("round_bytes0", 0.0)
         mx.series("round/bytes").record(
             round_no, machine.bytes_communicated - bytes0)
+        clock0 = mx.scratch.pop("round_clock0", None)
+        pe_time = clocks - clock0 if clock0 is not None else clocks
+        mx.series("round/pe_time_max_s").record(
+            round_no, float(pe_time.max()))
+        mx.series("round/pe_time_mean_s").record(
+            round_no, float(pe_time.mean()))
+        mx.series("round/pe_time_p99_s").record(
+            round_no, float(np.percentile(pe_time, 99)))
+        mx.series("round/straggler").record(
+            round_no, int(pe_time.argmax()))
         pe = mx.pe_counter("alltoall/sent_bytes_per_pe", machine.n_procs)
         prev = mx.scratch.pop("round_pe_bytes0", None)
         delta = pe.values - prev if prev is not None else pe.values
@@ -64,6 +83,10 @@ def observe_round_end(machine, round_no: int) -> None:
         mx.series("round/send_imbalance").record(round_no, imbalance)
     ev = machine.events
     if ev is not None:
+        # Boundary marker while the round tag is still set, so offline
+        # analyzers can delimit rounds without guessing from span tags.
+        ev.instant(f"round {round_no} end [{label}]", -1,
+                   float(machine.clock.max()), cat="round")
         ev.set_round(-1)
 
 

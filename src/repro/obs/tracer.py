@@ -78,6 +78,8 @@ class EventTracer:
         self._next = 0  # write cursor once the buffer is full
         #: Events overwritten because the ring filled up.
         self.dropped = 0
+        self._metrics = None
+        self._drop_counter = None
         #: Current algorithm round (set by the drivers; -1 = outside rounds).
         self.round = -1
         #: Innermost active machine phase name (maintained by Machine.phase).
@@ -99,6 +101,22 @@ class EventTracer:
             self._buf[self._next] = ev
             self._next = (self._next + 1) % self.capacity
             self.dropped += 1
+            if self._metrics is not None:
+                if self._drop_counter is None:
+                    self._drop_counter = self._metrics.counter(
+                        "trace/dropped_events")
+                self._drop_counter.inc()
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror ring-buffer drops into a ``trace/dropped_events`` counter.
+
+        The counter is created lazily on the first drop, so complete traces
+        export no spurious zero-valued counter; a truncated run's metrics
+        dump then carries the loss alongside the trace's own ``dropped``
+        field, and table exporters can warn on it.
+        """
+        self._metrics = registry
+        self._drop_counter = None
 
     def wall(self) -> float:
         """Host seconds since the tracer was created."""
@@ -192,6 +210,7 @@ class EventTracer:
         self._buf.clear()
         self._next = 0
         self.dropped = 0
+        self._drop_counter = None
         self.round = -1
         self.phase = None
         self._phase_stack.clear()

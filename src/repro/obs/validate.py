@@ -1,4 +1,4 @@
-"""Chrome-trace schema validation (shared by tests and CI's trace-smoke).
+"""Schema validation for exported observability artifacts.
 
 :func:`validate_chrome_trace` checks the structural contract a trace viewer
 relies on -- and that the CI smoke job enforces on every emitted artifact:
@@ -16,14 +16,74 @@ relies on -- and that the CI smoke job enforces on every emitted artifact:
 A trace whose ring buffer dropped events (``otherData.dropped_events > 0``)
 is only checked for the per-event invariants, because the missing prefix
 legitimately breaks span matching.
+
+Every JSON artifact this package writes (Chrome trace, metrics dump, BENCH
+record, ledger row) carries a ``schema_version`` string stamped from
+:data:`SCHEMA_VERSION`; :func:`check_schema_version` enforces the
+compatibility policy -- **reject** unknown major versions (the reader would
+misinterpret the payload), **warn** on newer minors (forward-compatible
+additions), and warn on pre-versioned artifacts missing the field.
+:func:`validate_ledger_record` applies the same policy to run-ledger rows
+(see :mod:`repro.obs.ledger`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 #: Event phases the validator accepts.
 KNOWN_PHASES = {"B", "E", "i", "I", "C", "M", "X"}
+
+#: Current schema version stamped into every exported JSON artifact
+#: (trace ``otherData``, metrics dump, BENCH record, ledger row).
+#: Major bumps break readers; minor bumps add fields.
+SCHEMA_VERSION = "1.0"
+
+#: Parsed (major, minor) of :data:`SCHEMA_VERSION`.
+SCHEMA_MAJOR, SCHEMA_MINOR = (int(part) for part in
+                              SCHEMA_VERSION.split("."))
+
+
+def parse_schema_version(value) -> Optional[Tuple[int, int]]:
+    """Parse a ``"major.minor"`` schema string; None when malformed."""
+    if not isinstance(value, str):
+        return None
+    parts = value.split(".")
+    if len(parts) != 2:
+        return None
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        return None
+
+
+def check_schema_version(value, where: str = "payload") -> List[str]:
+    """Apply the compatibility policy to one ``schema_version`` field.
+
+    Returns a list of *errors* (unknown major, malformed value); newer
+    minors and missing fields are forward/backward compatible and are
+    reported through :mod:`warnings` instead.
+    """
+    if value is None:
+        warnings.warn(
+            f"{where}: no schema_version (pre-versioned artifact); "
+            f"assuming {SCHEMA_VERSION}", stacklevel=2)
+        return []
+    parsed = parse_schema_version(value)
+    if parsed is None:
+        return [f"{where}: malformed schema_version {value!r} "
+                f"(expected 'major.minor')"]
+    major, minor = parsed
+    if major != SCHEMA_MAJOR:
+        return [f"{where}: unsupported schema major version {value!r} "
+                f"(this reader understands {SCHEMA_MAJOR}.x)"]
+    if minor > SCHEMA_MINOR:
+        warnings.warn(
+            f"{where}: schema_version {value} is newer than this reader's "
+            f"{SCHEMA_VERSION}; unknown fields will be ignored",
+            stacklevel=2)
+    return []
 
 
 def validate_chrome_trace(payload: Dict) -> List[str]:
@@ -43,6 +103,8 @@ def validate_chrome_trace(payload: Dict) -> List[str]:
     other = payload.get("otherData")
     if isinstance(other, dict):
         dropped = int(other.get("dropped_events", 0) or 0)
+        errors.extend(check_schema_version(
+            other.get("schema_version"), "otherData.schema_version"))
 
     last_ts: Dict[tuple, float] = {}
     open_spans: Dict[tuple, List[str]] = {}
@@ -96,4 +158,51 @@ def validate_chrome_trace(payload: Dict) -> List[str]:
         for key, stack in open_spans.items():
             if stack:
                 errors.append(f"unclosed span(s) {stack} on pid/tid {key}")
+    return errors
+
+
+def validate_ledger_record(record, where: str = "record") -> List[str]:
+    """Validate one run-ledger row (see :mod:`repro.obs.ledger`).
+
+    Checks the stable part of the ledger schema: a JSON object carrying a
+    compatible ``schema_version``, non-empty ``kind``/``name`` strings,
+    finite non-negative ``wall_seconds``/``peak_rss_bytes`` when present,
+    and well-formed ``simulated`` entries (``label`` + numeric
+    ``simulated_seconds``).  Returns a list of problems (empty = valid);
+    minor-version skew warns rather than errors, matching
+    :func:`check_schema_version`.
+    """
+    if not isinstance(record, dict):
+        return [f"{where}: ledger record is not a JSON object"]
+    errors = check_schema_version(record.get("schema_version"),
+                                  f"{where}.schema_version")
+    for field in ("kind", "name"):
+        value = record.get(field)
+        if not isinstance(value, str) or not value:
+            errors.append(f"{where}: missing/empty {field}")
+    for field in ("wall_seconds", "peak_rss_bytes"):
+        value = record.get(field)
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value != value or value < 0:
+            errors.append(f"{where}: {field} must be a finite non-negative "
+                          f"number, got {value!r}")
+    simulated = record.get("simulated")
+    if simulated is not None:
+        if not isinstance(simulated, list):
+            errors.append(f"{where}: simulated must be an array")
+        else:
+            for j, entry in enumerate(simulated):
+                # simulated_seconds may be null: crashed/oom sweep points
+                # are recorded as None (BenchRecorder.add).
+                sim = entry.get("simulated_seconds") \
+                    if isinstance(entry, dict) else False
+                if not isinstance(entry, dict) \
+                        or not isinstance(entry.get("label"), str) \
+                        or not (sim is None or isinstance(sim, (int, float))):
+                    errors.append(
+                        f"{where}: simulated[{j}] must be an object with a "
+                        f"string label and numeric (or null) "
+                        f"simulated_seconds")
     return errors

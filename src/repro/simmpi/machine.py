@@ -183,6 +183,9 @@ class Machine:
             self.events: Optional["EventTracer"] = EventTracer(self.n_procs)
             #: Metrics registry (None when tracing is off).
             self.metrics: Optional["MetricsRegistry"] = MetricsRegistry()
+            # Ring-buffer overwrites surface as a trace/dropped_events
+            # counter so truncation is visible in metrics exports too.
+            self.events.attach_metrics(self.metrics)
             # Segmented kernels report invocation counts / host time to the
             # most recently created traced machine (docs/observability.md).
             set_kernel_sink(self.metrics)

@@ -1,0 +1,255 @@
+"""Tests for the offline critical-path analyzer (repro.obs.critpath).
+
+Two kinds of coverage: hand-built toy traces whose longest path and slack
+are known in closed form (including p=1 and empty-PE layouts), and real
+algorithm runs where the analyzer's exactness claims are checked
+bit-for-bit -- the path length must equal the machine's final simulated
+clock, the path segments must tile ``[0, length]`` exactly, and the phase
+attribution must equal ``Machine.phase_times``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import BoruvkaConfig, minimum_spanning_forest
+from repro.faults import FaultSchedule
+from repro.graphgen import gen_family
+from repro.obs import TruncatedTraceError, analyze, chrome_trace
+from repro.obs.critpath import (
+    collect_instances,
+    critical_path,
+    phase_breakdown,
+    round_imbalance,
+)
+from repro.simmpi import Machine
+
+
+def _ev(ph, name, cat, rank, ts, rnd=-1, phase=None, value=None):
+    """Build one tracer-shaped event tuple."""
+    return (ph, name, cat, rank, ts, 0.0, rnd, phase, value)
+
+
+def _collective(name, entries, cost, rnd=0, phase=None):
+    """Toy collective: B events at per-rank entry clocks, E at sync+cost."""
+    sync = max(t for _, t in entries)
+    out = [_ev("B", name, "collective", r, t, rnd, phase)
+           for r, t in entries]
+    out += [_ev("E", name, "collective", r, sync + cost, rnd, phase)
+            for r, _ in entries]
+    return out
+
+
+def _toy_trace():
+    """Three PEs, two collectives; longest path known by construction.
+
+    rank1 computes until 3.0 (the allreduce straggler, sync 3.0, cost
+    0.5); rank2 then computes until 5.0 (the allgather straggler, sync
+    5.0, cost 0.25).  Critical path: rank1 compute [0,3] -> allreduce
+    [3,3.5] -> rank2 compute [3.5,5] -> allgather [5,5.25].
+    """
+    events = _collective("allreduce", [(0, 1.0), (1, 3.0), (2, 2.0)],
+                         cost=0.5, rnd=0)
+    events += _collective("allgather", [(0, 3.5), (1, 3.5), (2, 5.0)],
+                          cost=0.25, rnd=1)
+    return events
+
+
+class TestToyTraces:
+    def test_known_longest_path(self):
+        a = analyze(_toy_trace(), n_procs=3)
+        assert a.length == 5.25
+        assert a.n_procs == 3
+        # Chronological tiling of [0, length].
+        assert a.segments[0].start == 0.0
+        assert a.segments[-1].end == a.length
+        for prev, cur in zip(a.segments, a.segments[1:]):
+            assert prev.end == cur.start
+        # The known alternation, with the known straggler hand-offs.
+        kinds = [(s.kind, s.name) for s in a.segments]
+        assert kinds == [("compute", "local"),
+                         ("collective", "allreduce"),
+                         ("compute", "local"),
+                         ("collective", "allgather")]
+        assert a.segments[0].rank == 1  # allreduce straggler
+        assert a.segments[2].rank == 2  # allgather straggler
+        assert a.by_kind["compute"] == pytest.approx(3.0 + 1.5)
+        assert a.by_kind["collective"] == pytest.approx(0.75)
+        assert a.by_op == {"allreduce": pytest.approx(0.5),
+                           "allgather": pytest.approx(0.25)}
+
+    def test_known_slack(self):
+        # A later instant on rank 0 moves the anchor and opens tail slack
+        # on the other PEs.
+        events = _toy_trace()
+        events.append(_ev("i", "checkpoint", "mark", 0, 6.0))
+        a = analyze(events, n_procs=3)
+        assert a.length == 6.0
+        assert a.anchor_rank == 0
+        assert a.per_pe_slack == [0.0, 0.75, 0.75]
+
+    def test_instance_reconstruction(self):
+        instances = collect_instances(_toy_trace())
+        assert [i.name for i in instances] == ["allreduce", "allgather"]
+        first = instances[0]
+        assert first.ranks == (0, 1, 2)
+        assert first.sync_time == 3.0
+        assert first.straggler == 1
+        assert first.finish == 3.5
+
+    def test_single_pe(self):
+        events = [_ev("B", "solve", "phase", 0, 0.0),
+                  _ev("E", "solve", "phase", 0, 2.5)]
+        a = analyze(events, n_procs=1)
+        assert a.length == 2.5
+        assert a.anchor_rank == 0
+        assert [s.kind for s in a.segments] == ["compute"]
+        assert a.by_kind["compute"] == 2.5
+        assert a.phase_times == {"solve": 2.5}
+
+    def test_empty_pe_layout(self):
+        # Only ranks 0-1 ever emit events on a 4-PE machine: the silent
+        # PEs carry full-length slack and a zero finish clock.
+        events = _collective("allreduce", [(0, 1.0), (1, 2.0)], cost=0.5)
+        a = analyze(events, n_procs=4)
+        assert a.length == 2.5
+        assert a.per_pe_finish == [2.5, 2.5, 0.0, 0.0]
+        assert a.per_pe_slack == [0.0, 0.0, 2.5, 2.5]
+
+    def test_empty_trace(self):
+        a = analyze([], n_procs=2)
+        assert a.length == 0.0
+        assert a.segments == []
+        assert a.anchor_rank == -1
+
+    def test_phase_replay_nesting(self):
+        # Outer phase frozen while the inner runs: exclusive accounting.
+        events = [_ev("B", "outer", "phase", 0, 0.0),
+                  _ev("B", "inner", "phase", 0, 1.0),
+                  _ev("E", "inner", "phase", 0, 1.75),
+                  _ev("E", "outer", "phase", 0, 3.0)]
+        totals, per_pe = phase_breakdown(events, 1)
+        assert totals == {"outer": pytest.approx(2.25),
+                          "inner": pytest.approx(0.75)}
+        assert per_pe["outer"].shape == (1,)
+
+    def test_round_imbalance_attribution(self):
+        rounds = round_imbalance(_toy_trace(), 3)
+        assert [r.round for r in rounds] == [0, 1]
+        r0 = rounds[0]
+        # Round 0 windows: rank0 [1.0, 3.5], rank1 [3.0, 3.5], rank2
+        # [2.0, 3.5] -- rank0 is the straggler-by-span (2.5 s).
+        assert r0.max_s == pytest.approx(2.5)
+        assert r0.straggler == 0
+        assert r0.attribution["wait"] == pytest.approx(2.0)
+        assert r0.attribution["comm"] == pytest.approx(0.5)
+        assert r0.attribution["compute"] == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False),
+                    min_size=1, max_size=12))
+    def test_round_max_at_least_mean(self, durations):
+        # Property: per-round max PE time >= mean PE time, whatever the
+        # per-rank windows look like.
+        events = []
+        for rank, d in enumerate(durations):
+            events.append(_ev("B", "work", "phase", rank, 1.0, rnd=0))
+            events.append(_ev("E", "work", "phase", rank, 1.0 + d, rnd=0))
+        rounds = round_imbalance(events, len(durations))
+        assert len(rounds) == 1
+        assert rounds[0].max_s >= rounds[0].mean_s
+        assert rounds[0].max_s >= rounds[0].p99_s - 1e-12
+
+
+def _traced_run(procs=16, n=2048, m=8192, faults=False, **machine_kw):
+    """One traced boruvka run; returns (machine, result)."""
+    g = gen_family("GNM", n, m, seed=1)
+    machine = Machine(procs, trace_events=True, faults=faults, **machine_kw)
+    res = minimum_spanning_forest(g.distribute(machine),
+                                  algorithm="boruvka",
+                                  config=BoruvkaConfig(base_case_min=64))
+    return machine, res
+
+
+class TestRealRuns:
+    def test_length_is_final_clock_bit_for_bit(self):
+        machine, _ = _traced_run()
+        a = analyze(machine.events)
+        assert a.length == machine.elapsed()
+        # Segments tile [0, length] exactly -- float equality, no eps.
+        assert a.segments[0].start == 0.0
+        assert a.segments[-1].end == a.length
+        for prev, cur in zip(a.segments, a.segments[1:]):
+            assert prev.end == cur.start
+
+    def test_phase_attribution_matches_machine(self):
+        machine, _ = _traced_run()
+        totals, per_pe = phase_breakdown(list(machine.events.events()),
+                                         machine.n_procs)
+        assert totals == machine.phase_times
+        for name, arr in machine.phase_times_per_pe.items():
+            assert np.array_equal(per_pe[name], arr)
+
+    def test_path_kinds_sum_to_length(self):
+        machine, _ = _traced_run()
+        a = analyze(machine.events)
+        assert (a.by_kind["compute"] + a.by_kind["collective"]
+                == pytest.approx(a.length, rel=1e-12))
+        # The startup estimate is bounded by the collective share.
+        assert 0.0 <= a.by_kind["startup_alpha_est"] <= a.by_kind["collective"]
+
+    def test_single_pe_run(self):
+        machine, _ = _traced_run(procs=1, n=256, m=1024)
+        a = analyze(machine.events)
+        assert a.length == machine.elapsed()
+        assert a.per_pe_slack == [0.0]
+
+    def test_replayed_rounds_from_fail_stop_schedule(self):
+        # A fail-stop schedule forces round replays; the analyzer must
+        # still account for the whole (longer) makespan exactly.
+        schedule = FaultSchedule.parse("seed=3, pe_fail@1:5")
+        machine, res = _traced_run(faults=schedule)
+        clean_machine, clean = _traced_run()
+        assert res.total_weight == clean.total_weight
+        assert machine.elapsed() > clean_machine.elapsed()
+        a = analyze(machine.events)
+        assert a.length == machine.elapsed()
+        assert a.segments[-1].end == a.length
+
+    def test_analyze_from_chrome_payload(self):
+        machine, _ = _traced_run()
+        payload = chrome_trace(machine.events, {"n_procs": machine.n_procs})
+        a = analyze(payload)
+        assert a.n_procs == machine.n_procs
+        # Microsecond round-trip: equal to within one ulp-ish tolerance.
+        assert a.length == pytest.approx(machine.elapsed(), rel=1e-9)
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        machine, _ = _traced_run(procs=8, n=512, m=2048)
+        summary = analyze(machine.events).summary()
+        assert json.loads(json.dumps(summary))["length_s"] == \
+            machine.elapsed()
+
+
+class TestTruncatedStreams:
+    def test_tracer_refused(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CAP", "64")
+        machine, _ = _traced_run(procs=8, n=512, m=2048)
+        assert machine.events.dropped > 0
+        with pytest.raises(TruncatedTraceError):
+            analyze(machine.events)
+
+    def test_chrome_payload_refused(self):
+        payload = {"traceEvents": [],
+                   "otherData": {"dropped_events": 17}}
+        with pytest.raises(TruncatedTraceError):
+            analyze(payload)
+
+    def test_critical_path_guard_terminates(self):
+        # Degenerate zero-duration collectives must not loop forever.
+        events = _collective("allreduce", [(0, 1.0), (1, 1.0)], cost=0.0)
+        segments, length, anchor, _, _ = critical_path(events, 2)
+        assert length == 1.0
+        assert segments[-1].end == length
