@@ -151,6 +151,9 @@ class BenchRecorder:
         self.wall_seconds = 0.0
         self.peak_rss_bytes: int | None = None
         self.simulated: list[dict] = []
+        #: Extra payload sections (e.g. ``serving``); sticky across
+        #: writes so the context manager's final write keeps them.
+        self.extra: dict = {}
 
     def add(self, label: str, simulated_seconds: float, **extra) -> None:
         """Record one configuration's simulated makespan.
@@ -175,6 +178,7 @@ class BenchRecorder:
         from repro.obs.ledger import append_record, ledger_path, make_record
 
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        self.extra.update(extra)
         payload = {
             "schema_version": SCHEMA_VERSION,
             "name": self.name,
@@ -185,7 +189,7 @@ class BenchRecorder:
             "max_cores": MAX_CORES,
             "scale": env_scale(),
             "simulated": self.simulated,
-            **extra,
+            **self.extra,
         }
         path = RESULTS_DIR / f"BENCH_{self.name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

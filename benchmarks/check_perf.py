@@ -77,10 +77,17 @@ def update_baseline(fresh_path: str, base_path: str, fresh: dict,
     if diffs:
         print(f"updating baseline INCLUDING {len(diffs)} simulated "
               f"change(s) (--allow-simulated-change)")
+    fresh_wall = fresh.get("wall_seconds")
+    if not isinstance(fresh_wall, (int, float)):
+        return [f"{fresh_path}: record lacks a numeric 'wall_seconds'; "
+                "refusing to install it as a baseline (re-record via "
+                "benchmarks/_common.py:BenchRecorder)"]
     shutil.copyfile(fresh_path, base_path)
+    base_wall = base.get("wall_seconds")
+    base_txt = f"{base_wall:.2f}s" \
+        if isinstance(base_wall, (int, float)) else "missing"
     print(f"baseline updated: {base_path} <- {fresh_path} "
-          f"(wall {base.get('wall_seconds', 0):.2f}s -> "
-          f"{fresh['wall_seconds']:.2f}s)")
+          f"(wall {base_txt} -> {fresh_wall:.2f}s)")
     return []
 
 

@@ -66,6 +66,17 @@ def classify_artifact(path) -> Tuple[str, object]:
             return "trace", payload
         if "simulated" in payload and "wall_seconds" in payload:
             return "bench", payload
+        if "simulated" in payload or "wall_seconds" in payload \
+                or path.name.startswith("BENCH_"):
+            # A BENCH record missing one of its two required keys gets a
+            # precise diagnosis, not the generic "unrecognisable" error.
+            missing = [k for k in ("simulated", "wall_seconds")
+                       if k not in payload]
+            raise ValueError(
+                f"{path}: BENCH record is missing required "
+                f"key(s) {missing}; records need both a 'simulated' "
+                f"series and a 'wall_seconds' measurement "
+                f"(write them via benchmarks/_common.py:BenchRecorder)")
         if "counters" in payload and "series" in payload:
             return "metrics", payload
     raise ValueError(
@@ -88,9 +99,19 @@ def simulated_diffs(fresh: Dict, base: Dict) -> List[str]:
     Simulated seconds are machine-independent and must be bit-for-bit
     reproducible; any drift means the modelled algorithm changed.
     """
+    out = []
+    for side, record in (("fresh", fresh), ("baseline", base)):
+        bad = [e for e in record.get("simulated", [])
+               if not isinstance(e, dict) or "label" not in e
+               or "simulated_seconds" not in e]
+        if bad:
+            out.append(f"{side} record has malformed simulated entries "
+                       f"(need 'label' + 'simulated_seconds'): "
+                       f"{bad[:3]!r}")
+    if out:
+        return out
     sim_fresh = {e["label"]: e for e in fresh.get("simulated", [])}
     sim_base = {e["label"]: e for e in base.get("simulated", [])}
-    out = []
     if set(sim_fresh) != set(sim_base):
         only_f = sorted(set(sim_fresh) - set(sim_base))
         only_b = sorted(set(sim_base) - set(sim_fresh))
@@ -114,12 +135,23 @@ def compare_bench(fresh: Dict, base: Dict, max_ratio: float = 2.0) -> Dict:
     the family passes the gate).
     """
     failures: List[str] = []
-    wall_fresh = fresh.get("wall_seconds") or 0.0
-    wall_base = base.get("wall_seconds") or 0.0
-    ratio = (wall_fresh / wall_base) if wall_base else float("inf")
-    if ratio > max_ratio:
-        failures.append(f"wall-clock regression: {wall_fresh:.2f}s > "
-                        f"{max_ratio} * {wall_base:.2f}s")
+    missing = [side for side, rec in (("fresh", fresh), ("baseline", base))
+               if not isinstance(rec.get("wall_seconds"), (int, float))]
+    if missing:
+        failures.append(
+            f"record lacks a numeric 'wall_seconds' on the "
+            f"{' and '.join(missing)} side; the wall-clock gate cannot "
+            f"run (re-record with benchmarks/_common.py:BenchRecorder)")
+        wall_fresh = fresh.get("wall_seconds")
+        wall_base = base.get("wall_seconds")
+        ratio = None
+    else:
+        wall_fresh = float(fresh["wall_seconds"])
+        wall_base = float(base["wall_seconds"])
+        ratio = (wall_fresh / wall_base) if wall_base else float("inf")
+        if ratio > max_ratio:
+            failures.append(f"wall-clock regression: {wall_fresh:.2f}s > "
+                            f"{max_ratio} * {wall_base:.2f}s")
     sim_problems = simulated_diffs(fresh, base)
     failures += sim_problems
     return {
@@ -296,6 +328,36 @@ def critpath_text(analysis: "critpath.CritPathAnalysis") -> str:
         lines += ["", f"per-PE tail slack: max {max(slack):.6g} s, "
                       f"mean {sum(slack) / len(slack):.6g} s"]
     return "\n".join(lines)
+
+
+def serving_text(payload: Dict) -> str:
+    """ASCII table over a BENCH record's ``serving`` section (if any).
+
+    Latency/QPS columns are host-dependent and *report-only*: the perf
+    gate pins only ``wall_seconds`` (2x) and the simulated series
+    (bit-identical), never p50/p99 -- see docs/serving.md.
+    """
+    entries = payload.get("serving")
+    if not isinstance(entries, list) or not entries:
+        return ""
+    rows = []
+    for e in entries:
+        epochs = e.get("epochs") or {}
+        rows.append([
+            str(e.get("label", "-")),
+            f"{e.get('churn', 0.0):.2f}",
+            str(e.get("requests", "-")),
+            f"{e.get('qps', 0.0):.0f}",
+            f"{e.get('p50_latency_ms', 0.0):.2f}",
+            f"{e.get('p99_latency_ms', 0.0):.2f}",
+            " ".join(f"{k}:{v}" for k, v in sorted(epochs.items()))
+            or "-",
+        ])
+    table = _ascii_table(
+        ("serving leg", "churn", "requests", "qps", "p50 [ms]",
+         "p99 [ms]", "epochs by strategy"), rows)
+    return ("serving throughput/latency (report-only; not gated):\n"
+            + table)
 
 
 def regression_text(results: Sequence[Dict]) -> str:
@@ -616,15 +678,23 @@ def report_for_target(target, baseline=None, max_ratio: float = 2.0
             payload.get("schema_version"), f"{name}: schema_version"))
         if baseline is None:
             sim = payload.get("simulated", [])
-            wall = payload.get("wall_seconds", 0.0)
-            text = (f"== {name} ==\nwall {wall:.2f}s, {len(sim)} simulated "
+            wall = payload.get("wall_seconds")
+            wall_txt = f"{wall:.2f}s" if isinstance(wall, (int, float)) \
+                else "missing"
+            text = (f"== {name} ==\nwall {wall_txt}, {len(sim)} simulated "
                     f"entries (no --baseline: nothing to gate against)")
+            serving = serving_text(payload)
+            if serving:
+                text += "\n\n" + serving
             html_doc = regression_html([], title=name)
             return text, html_doc, failures
         results = perf_check(target, baseline, max_ratio)
         failures += perf_failures(results)
-        return (regression_text(results),
-                regression_html(results, title=name), failures)
+        text = regression_text(results)
+        serving = serving_text(payload)
+        if serving:
+            text += "\n\n" + serving
+        return text, regression_html(results, title=name), failures
     raise ValueError(f"{target}: metrics dumps have no report view; point "
                      f"repro report at the matching .trace.json instead")
 

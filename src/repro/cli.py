@@ -19,7 +19,10 @@ Subcommands
             (``ledger.jsonl`` -- run history + latest-vs-previous diff),
             or BENCH records vs ``--baseline`` (the perf-regression
             gate; ``--check`` exits non-zero on failures);
-``info``    show instance statistics of a saved ``.npz`` graph.
+``info``    show instance statistics of a saved ``.npz`` graph;
+``serve``   keep a session alive and answer NDJSON MSF queries/mutations
+            over stdin/stdout or localhost TCP, recomputing the forest
+            incrementally under edge churn (docs/serving.md).
 
 Runs of ``mst``/``profile`` append one row to the run ledger when one is
 active (``REPRO_LEDGER`` or ``REPRO_TRACE_DIR`` set; see
@@ -38,6 +41,8 @@ Examples
     python -m repro info gnm.npz
     python -m repro report traces/profile.trace.json --html report.html
     python -m repro report benchmarks/results --baseline /tmp/base --check
+    python -m repro gen --family GNM -n 512 -m 2048 -o g.npz
+    echo '{"id":1,"op":"msf_weight"}' | python -m repro serve g.npz
 """
 
 from __future__ import annotations
@@ -202,6 +207,38 @@ def _add_info(sub: argparse._SubParsersAction) -> None:
     p.add_argument("graph", help="instance .npz")
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve", help="serve MSF queries/mutations over a live session")
+    p.add_argument("graph", help="initial instance .npz (from `repro gen`)")
+    p.add_argument("--procs", type=int, default=8, help="MPI processes")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--engine", default=None,
+                   choices=["inprocess", "batched", "multiprocess"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--schedule", default=None,
+                   help="fault schedule active during epoch recomputes "
+                        "(docs/faults.md grammar)")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on TCP instead of stdin/stdout "
+                        "(port 0 picks an ephemeral port)")
+    p.add_argument("--max-depth", type=int, default=64,
+                   help="in-flight request bound (backpressure)")
+    p.add_argument("--readers", type=int, default=4,
+                   help="query reader threads")
+    p.add_argument("--epoch-batch", type=int, default=32,
+                   help="mutations per epoch before a forced commit")
+    p.add_argument("--epoch-delay-ms", type=float, default=50.0,
+                   help="max staging delay before an epoch commits")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline")
+    p.add_argument("--log-rounds", type=int, default=64,
+                   help="checkpointed rounds retained for incremental "
+                        "replay (0 disables replay)")
+    p.add_argument("--simsan", action="store_true",
+                   help="run the session machine under the sanitizer")
+
+
 def _families():
     from .graphgen import FAMILIES
 
@@ -230,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_faults(sub)
     _add_report(sub)
     _add_info(sub)
+    _add_serve(sub)
     args = parser.parse_args(argv)
     if getattr(args, "simsan", False):
         # Machines default their sanitize= argument from this variable, so
@@ -244,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "report": _cmd_report,
         "info": _cmd_info,
+        "serve": _cmd_serve,
     }[args.command](args)
 
 
@@ -564,6 +603,51 @@ def _cmd_info(args) -> int:
     print(f"weights     : [{s.weight_min}, {s.weight_max}]")
     if g.params:
         print(f"params      : {g.params}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .graphgen import load_npz
+    from .serve import GraphSession, serve_stdio, serve_tcp
+
+    g = load_npz(args.graph)
+    session = GraphSession(
+        g.n_vertices, g.edges,
+        n_procs=args.procs, threads=args.threads, seed=args.seed,
+        engine=args.engine, faults=args.schedule,
+        log_max_rounds=args.log_rounds,
+    )
+    queue_opts = dict(
+        max_depth=args.max_depth,
+        readers=args.readers,
+        epoch_max_batch=args.epoch_batch,
+        epoch_max_delay_s=args.epoch_delay_ms / 1e3,
+        default_deadline_s=(args.deadline_ms / 1e3
+                            if args.deadline_ms else None),
+    )
+    # Responses own stdout in stdio mode; humans read stderr.
+    print(f"serving {g.name} (n={g.n_vertices}, "
+          f"m={g.n_undirected_edges}) on {args.procs} procs, "
+          f"engine={session.machine.engine.name}, "
+          f"weight={session.view.total_weight}", file=sys.stderr)
+    try:
+        if args.tcp:
+            host, _, port = args.tcp.rpartition(":")
+            summary = asyncio.run(serve_tcp(
+                session, host or "127.0.0.1", int(port),
+                ready=lambda hp: print(f"listening on {hp[0]}:{hp[1]}",
+                                       file=sys.stderr, flush=True),
+                **queue_opts))
+        else:
+            summary = serve_stdio(session, **queue_opts)
+    finally:
+        session.close()
+    print(f"served {summary.get('requests', 0)} requests, "
+          f"{summary.get('errors', 0)} errors; epochs="
+          f"{summary.get('epochs', {})}; p99="
+          f"{summary.get('p99_latency_ms', 0.0):.2f} ms", file=sys.stderr)
     return 0
 
 

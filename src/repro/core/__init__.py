@@ -13,6 +13,7 @@ from .plabels import DistributedLabelArray
 from .rounds import (
     CheckpointableState,
     RoundBody,
+    RoundCheckpointLog,
     RoundScheduler,
     RoundStats,
     UnsupportedFaultSchedule,
@@ -46,6 +47,7 @@ __all__ = [
     "DistributedLabelArray",
     "CheckpointableState",
     "RoundBody",
+    "RoundCheckpointLog",
     "RoundScheduler",
     "RoundStats",
     "UnsupportedFaultSchedule",

@@ -248,6 +248,9 @@ def distributed_boruvka(
     cfg = cfg or BoruvkaConfig()
     run = run or MSTRun(machine, cfg)
     snapshot = InputSnapshot.take(graph)
+    # Stashed for incremental replay (repro.serve): checkpointed round
+    # inputs carry edge ids whose endpoint decode needs this snapshot.
+    run.input_snapshot = snapshot
 
     if cfg.local_preprocessing:
         with machine.phase("local_preprocessing"):

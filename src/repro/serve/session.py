@@ -1,0 +1,551 @@
+"""Long-lived MST-as-a-service sessions (docs/serving.md).
+
+A :class:`GraphSession` owns a persistent simulated
+:class:`~repro.simmpi.machine.Machine`, the current undirected edge list
+of the served graph, and a versioned minimum spanning forest.  Mutations
+arrive as *epochs* -- batches of edge inserts/deletes -- and each commit
+recomputes the MSF through the cheapest applicable strategy in
+:mod:`repro.serve.incremental` (noop / sparsified / replay / full),
+always landing on the exact from-scratch MSF weight.
+
+Queries never touch the machine: every commit publishes an immutable
+:class:`SessionView` (edge list, forest, weight, component labels) and
+readers grab ``session.view`` in one atomic attribute fetch, so a
+multi-reader/single-writer queue (:mod:`repro.serve.queue`) needs no
+locks on the read path.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import BoruvkaConfig
+from ..dgraph.edges import Edges
+from ..seq.union_find import UnionFind
+from ..simmpi.machine import Machine
+from . import incremental
+from .incremental import ReplayBase
+
+
+class MutationError(ValueError):
+    """A mutation request failed validation; the epoch excludes it."""
+
+
+@dataclass(frozen=True)
+class SessionView:
+    """Immutable published state of one MSF version.
+
+    Everything a query op needs lives here; the writer builds a complete
+    new view off to the side and publishes it with one reference swap.
+    """
+
+    version: int
+    n_vertices: int
+    #: Directed edge list, sorted (u, v, w) with positional ids.
+    edges: Edges
+    #: Sorted directed pair codes ``u * n + v`` aligned with ``edges``.
+    codes: np.ndarray
+    #: Canonical (u < v) forest edge arrays.
+    forest_u: np.ndarray
+    forest_v: np.ndarray
+    forest_w: np.ndarray
+    #: Sorted canonical forest pair codes ``min*n + max``.
+    forest_codes: np.ndarray
+    total_weight: int
+    n_components: int
+    #: Component representative per vertex (union-find roots).
+    component_of: np.ndarray
+
+    @property
+    def n_undirected_edges(self) -> int:
+        """Undirected edge count (the directed list stores both halves)."""
+        return len(self.edges) // 2
+
+    def has_pair(self, u: int, v: int) -> bool:
+        """Whether undirected edge {u, v} is in the current graph."""
+        return self._find_code(int(u) * self.n_vertices + int(v)) >= 0
+
+    def pair_weight(self, u: int, v: int) -> Optional[int]:
+        """Weight of {u, v}, or None when absent."""
+        pos = self._find_code(int(u) * self.n_vertices + int(v))
+        return int(self.edges.w[pos]) if pos >= 0 else None
+
+    def edge_in_msf(self, u: int, v: int) -> bool:
+        """Whether {u, v} is one of this version's forest edges."""
+        a, b = (u, v) if u <= v else (v, u)
+        code = int(a) * self.n_vertices + int(b)
+        pos = int(np.searchsorted(self.forest_codes, code))
+        return pos < len(self.forest_codes) \
+            and int(self.forest_codes[pos]) == code
+
+    def _find_code(self, code: int) -> int:
+        pos = int(np.searchsorted(self.codes, code))
+        if pos < len(self.codes) and int(self.codes[pos]) == code:
+            return pos
+        return -1
+
+
+@dataclass
+class EpochReport:
+    """What one committed epoch did (per-request metrics + ledger)."""
+
+    version: int
+    strategy: str
+    n_inserted: int
+    n_deleted: int
+    total_weight: int
+    #: Simulated seconds spent by this epoch's distributed runs.
+    simulated_seconds: float
+    #: Round the replay resumed from (replay strategy only).
+    replayed_from: Optional[int] = None
+    #: Rounds skipped relative to the base run (replay strategy only).
+    rounds_saved: int = 0
+    extra: Dict = field(default_factory=dict)
+
+
+class GraphSession:
+    """A persistent served graph: machine + edges + versioned MSF."""
+
+    def __init__(
+        self,
+        n_vertices: int,
+        edges: Optional[Sequence] = None,
+        *,
+        n_procs: int = 8,
+        threads: int = 1,
+        seed: int = 0,
+        algorithm: str = "boruvka",
+        cfg: Optional[BoruvkaConfig] = None,
+        faults=None,
+        engine=None,
+        log_max_rounds: int = 64,
+        max_dirty_fraction: float = 0.25,
+        machine: Optional[Machine] = None,
+    ):
+        if n_vertices < 1:
+            raise ValueError("n_vertices must be >= 1")
+        self.n_vertices = int(n_vertices)
+        self.algorithm = algorithm
+        self.cfg = cfg or BoruvkaConfig()
+        self.log_max_rounds = log_max_rounds
+        self.max_dirty_fraction = max_dirty_fraction
+        self.machine = machine or Machine(n_procs, threads=threads,
+                                          seed=seed, faults=faults,
+                                          engine=engine)
+        self._owns_machine = machine is None
+        # Single-writer discipline: every state transition happens under
+        # this lock; readers only ever touch the published view.
+        self._write_lock = threading.Lock()
+        self._base: Optional[ReplayBase] = None
+        #: Position of each directed row in the base run's input, -1 when
+        #: inserted since; rows with -1 make up the accumulated inserts.
+        self._base_id = np.empty(0, dtype=np.int64)
+        self.epoch_counts: Dict[str, int] = {}
+        self.replay_depths: List[int] = []
+        self.total_simulated_seconds = 0.0
+
+        u, v, w = _triples(edges)
+        _validate_endpoints(u, v, w, self.n_vertices)
+        if len(np.unique(np.minimum(u, v) * self.n_vertices
+                         + np.maximum(u, v))) != len(u):
+            raise ValueError("initial edge list contains duplicate pairs")
+        directed = incremental.symmetrized_edges(u, v, w)
+        self.view: SessionView = None  # published below
+        self.total_simulated_seconds += self._install_full(directed)
+
+    # -- queries (thread-safe: operate on an immutable view) -----------
+    def msf_weight(self) -> Dict:
+        """Current MSF weight plus the view version it belongs to."""
+        view = self.view
+        return {"weight": view.total_weight, "version": view.version}
+
+    def components(self, vertices: Optional[Sequence[int]] = None) -> Dict:
+        """Component count, plus per-vertex labels when asked for."""
+        view = self.view
+        out = {"n_components": view.n_components, "version": view.version}
+        if vertices is not None:
+            vs = np.asarray(list(vertices), dtype=np.int64)
+            if len(vs) and (vs.min() < 0 or vs.max() >= view.n_vertices):
+                raise MutationError("vertex id out of range")
+            out["component_of"] = [int(c) for c in view.component_of[vs]]
+        return out
+
+    def edge_in_msf(self, u: int, v: int) -> Dict:
+        """Whether {u, v} is present in the graph and in the forest."""
+        view = self.view
+        u, v = _check_pair(u, v, view.n_vertices)
+        return {
+            "present": view.has_pair(u, v),
+            "in_msf": view.edge_in_msf(u, v),
+            "version": view.version,
+        }
+
+    def stats(self) -> Dict:
+        """Session-lifetime counters: sizes, epochs, simulated seconds."""
+        view = self.view
+        return {
+            "version": view.version,
+            "n_vertices": view.n_vertices,
+            "n_edges": view.n_undirected_edges,
+            "n_components": view.n_components,
+            "weight": view.total_weight,
+            "algorithm": self.algorithm,
+            "engine": self.machine.engine.name,
+            "n_procs": self.machine.n_procs,
+            "epochs": dict(self.epoch_counts),
+            "replay_depths": list(self.replay_depths),
+            "simulated_seconds": self.total_simulated_seconds,
+        }
+
+    # -- mutations (single writer) -------------------------------------
+    def apply_epoch(self, ops: Sequence[Tuple[str, Sequence]]
+                    ) -> Tuple[List[Optional[str]], Optional[EpochReport]]:
+        """Validate + apply one epoch of mutation requests.
+
+        ``ops`` is a list of ``("insert"|"delete", edge_rows)`` in arrival
+        order.  Each request is all-or-nothing: validated against the
+        current graph plus the cumulative effect of earlier *valid*
+        requests in the same epoch; an invalid request contributes
+        nothing and gets its error message in the outcome slot (None =
+        accepted).  Returns the outcomes plus an :class:`EpochReport`
+        (None when every request failed or the net batch is empty).
+        """
+        with self._write_lock:
+            view = self.view
+            # code -> (u, v, w) staged inserts; code -> row pair indices
+            # staged deletes (cumulative across accepted requests).
+            pending_ins: Dict[int, Tuple[int, int, int]] = {}
+            pending_del: Dict[int, Tuple[int, int]] = {}
+            outcomes: List[Optional[str]] = []
+            for kind, rows in ops:
+                try:
+                    staged = self._stage(view, kind, rows,
+                                         pending_ins, pending_del)
+                except MutationError as exc:
+                    outcomes.append(str(exc))
+                    continue
+                for code, payload in staged:
+                    if payload is None:
+                        pending_ins.pop(code, None)
+                    elif len(payload) == 3:
+                        pending_ins[code] = payload
+                    else:
+                        pending_del[code] = payload
+                outcomes.append(None)
+            if not pending_ins and not pending_del:
+                return outcomes, None
+            report = self._commit(view, pending_ins, pending_del)
+            return outcomes, report
+
+    def recompute_full(self) -> EpochReport:
+        """Force a from-scratch recompute (refreshes the replay base)."""
+        with self._write_lock:
+            view = self.view
+            simulated = self._install_full(view.edges.copy(),
+                                           version=view.version + 1)
+            self.total_simulated_seconds += simulated
+            report = EpochReport(
+                version=self.view.version, strategy="full",
+                n_inserted=0, n_deleted=0,
+                total_weight=self.view.total_weight,
+                simulated_seconds=simulated,
+            )
+            self._note_epoch(report)
+            return report
+
+    def close(self) -> None:
+        """Release the machine (only when this session created it)."""
+        if self._owns_machine:
+            self.machine.close()
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- epoch internals ------------------------------------------------
+    def _stage(self, view, kind, rows, pending_ins, pending_del):
+        """Validate one request; return its staged (code, payload) effects.
+
+        Payloads: a 3-tuple stages an insert, a 2-tuple stages a delete,
+        ``None`` cancels a pending insert (delete of a not-yet-committed
+        edge).  Raises :class:`MutationError` without side effects.
+        """
+        staged = []
+        seen = set()
+        if kind == "insert":
+            for row in rows:
+                u, v, w = _check_insert(row, view.n_vertices)
+                code = min(u, v) * view.n_vertices + max(u, v)
+                if code in seen:
+                    raise MutationError(
+                        f"duplicate edge ({u}, {v}) in one request")
+                seen.add(code)
+                exists = view.has_pair(min(u, v), max(u, v))
+                if code in pending_ins or (exists
+                                           and code not in pending_del):
+                    raise MutationError(f"edge ({u}, {v}) already exists")
+                staged.append((code, (u, v, w)))
+        elif kind == "delete":
+            for row in rows:
+                u, v = _check_pair(*_pair(row), view.n_vertices)
+                code = u * view.n_vertices + v
+                if code in seen:
+                    raise MutationError(
+                        f"duplicate edge ({u}, {v}) in one request")
+                seen.add(code)
+                if code in pending_ins:
+                    staged.append((code, None))  # cancels the insert
+                elif code in pending_del:
+                    raise MutationError(
+                        f"edge ({u}, {v}) already deleted this epoch")
+                elif view.has_pair(u, v):
+                    staged.append((code, (u, v)))
+                else:
+                    raise MutationError(f"edge ({u}, {v}) does not exist")
+        else:
+            raise MutationError(f"unknown mutation kind {kind!r}")
+        return staged
+
+    def _commit(self, view: SessionView, pending_ins, pending_del
+                ) -> EpochReport:
+        """Apply the net batch: pick a strategy, recompute, publish."""
+        n = view.n_vertices
+        del_pairs = np.array(sorted(pending_del.values()),
+                             dtype=np.int64).reshape(-1, 2)
+        ins_rows = np.array(sorted(pending_ins.values()),
+                            dtype=np.int64).reshape(-1, 3)
+
+        # Locate both directed rows of every deleted pair.
+        del_rows = _directed_rows(view, del_pairs)
+        tree_hit = any(view.edge_in_msf(int(a), int(b))
+                       for a, b in del_pairs)
+        deleted_base = self._base_id[del_rows]
+        deleted_base = np.unique(deleted_base[deleted_base >= 0])
+
+        new_edges, new_base_id = self._mutated(view, del_rows, ins_rows)
+        deleted_all = deleted_base
+        if self._base is not None and len(self._base.deleted_ids):
+            deleted_all = np.union1d(self._base.deleted_ids, deleted_base)
+
+        strategy, result, replayed_from, rounds_saved, simulated = \
+            self._recompute(view, new_edges, new_base_id, ins_rows,
+                            tree_hit, deleted_all)
+        # Only a committed epoch may touch the base: a failed recompute
+        # raised out of _recompute and must leave it replayable as-is.
+        if strategy != "full" and self._base is not None:
+            self._base.absorb_deletions(deleted_base)
+        self.total_simulated_seconds += simulated
+
+        if strategy == "full":
+            # _recompute already installed the new base + view.
+            pass
+        elif strategy == "noop":
+            self._publish(new_edges, new_base_id,
+                          forest=(view.forest_u, view.forest_v,
+                                  view.forest_w),
+                          total_weight=view.total_weight,
+                          version=view.version + 1)
+        else:
+            fu, fv, fw, total = _forest_of(result)
+            self._publish(new_edges, new_base_id, forest=(fu, fv, fw),
+                          total_weight=total, version=view.version + 1)
+        report = EpochReport(
+            version=self.view.version,
+            strategy=strategy,
+            n_inserted=len(ins_rows),
+            n_deleted=len(del_pairs),
+            total_weight=self.view.total_weight,
+            simulated_seconds=simulated,
+            replayed_from=replayed_from,
+            rounds_saved=rounds_saved,
+        )
+        self._note_epoch(report)
+        return report
+
+    def _recompute(self, view, new_edges, new_base_id, ins_rows, tree_hit,
+                   deleted_all):
+        """Strategy ladder.
+
+        Returns ``(name, result, replayed_from, rounds_saved,
+        simulated_seconds)``.  Each strategy run resets the machine's
+        clocks, so the epoch's simulated cost is the sum of the
+        individual runs' elapsed times, not a clock difference.
+        """
+        if not tree_hit and len(ins_rows) == 0:
+            return "noop", None, None, 0, 0.0
+        if not tree_hit:
+            result = incremental.sparsified_recompute(
+                self.machine, view.forest_u, view.forest_v, view.forest_w,
+                ins_rows[:, 0], ins_rows[:, 1], ins_rows[:, 2], self.cfg)
+            return "sparsified", result, None, 0, result.elapsed
+        if self.algorithm == "boruvka" and self._base is not None:
+            replay_round = incremental.plan_replay(
+                self._base, deleted_all, self.max_dirty_fraction)
+            if replay_round is not None:
+                result = incremental.replay_recompute(
+                    self.machine, self._base, self.cfg, replay_round,
+                    deleted_all)
+                simulated = result.elapsed
+                # Fold in edges inserted since the base run: the replay
+                # produced MSF(E_base \ D_all); sparsify the remainder.
+                acc_ins = new_base_id < 0
+                if acc_ins.any():
+                    half = new_edges.u[acc_ins] < new_edges.v[acc_ins]
+                    fu, fv, fw, _ = _forest_of(result)
+                    result = incremental.sparsified_recompute(
+                        self.machine, fu, fv, fw,
+                        new_edges.u[acc_ins][half],
+                        new_edges.v[acc_ins][half],
+                        new_edges.w[acc_ins][half], self.cfg)
+                    simulated += result.elapsed
+                return "replay", result, replay_round, replay_round, \
+                    simulated
+        simulated = self._install_full(new_edges,
+                                       version=view.version + 1)
+        return "full", None, None, 0, simulated
+
+    def _install_full(self, directed: Edges, version: int = 0) -> float:
+        """Full recompute on ``directed``; refresh base; publish a view.
+
+        Returns the run's simulated seconds (also added to the total).
+        """
+        result, base = incremental.full_recompute(
+            self.machine, directed, self.cfg, self.algorithm,
+            self.log_max_rounds)
+        self._base = base
+        fu, fv, fw, total = _forest_of(result)
+        # A full recompute re-keys the base id space to row positions.
+        self._publish(directed,
+                      np.arange(len(directed), dtype=np.int64),
+                      forest=(fu, fv, fw), total_weight=total,
+                      version=version)
+        return result.elapsed
+
+    def _publish(self, edges: Edges, base_id: np.ndarray, *, forest,
+                 total_weight: int, version: int) -> None:
+        fu, fv, fw = (np.asarray(a, dtype=np.int64) for a in forest)
+        lo, hi = np.minimum(fu, fv), np.maximum(fu, fv)
+        order = np.argsort(lo * self.n_vertices + hi, kind="stable")
+        uf = UnionFind(self.n_vertices)
+        uf.union_edges(fu, fv)
+        component_of = uf.find_many(np.arange(self.n_vertices))
+        codes = edges.u.astype(np.int64) * self.n_vertices \
+            + edges.v.astype(np.int64)
+        self._base_id = base_id
+        self.view = SessionView(
+            version=version,
+            n_vertices=self.n_vertices,
+            edges=edges,
+            codes=codes,
+            forest_u=lo[order], forest_v=hi[order], forest_w=fw[order],
+            forest_codes=(lo * self.n_vertices + hi)[order],
+            total_weight=int(total_weight),
+            n_components=int(len(np.unique(component_of))),
+            component_of=component_of,
+        )
+
+    def _mutated(self, view, del_rows, ins_rows):
+        """New sorted directed edge list + base-id map after the batch."""
+        keep = np.ones(len(view.edges), dtype=bool)
+        keep[del_rows] = False
+        iu, iv, iw = (ins_rows[:, 0], ins_rows[:, 1], ins_rows[:, 2])
+        u = np.concatenate([view.edges.u[keep].astype(np.int64), iu, iv])
+        v = np.concatenate([view.edges.v[keep].astype(np.int64), iv, iu])
+        w = np.concatenate([view.edges.w[keep].astype(np.int64), iw, iw])
+        b = np.concatenate([self._base_id[keep],
+                            np.full(2 * len(ins_rows), -1,
+                                    dtype=np.int64)])
+        order = np.lexsort((w, v, u))
+        edges = Edges(u[order], v[order], w[order])
+        return edges, b[order]
+
+    def _note_epoch(self, report: EpochReport) -> None:
+        self.epoch_counts[report.strategy] = \
+            self.epoch_counts.get(report.strategy, 0) + 1
+        if report.strategy == "replay" and report.replayed_from is not None:
+            self.replay_depths.append(report.replayed_from)
+
+
+# -- module helpers -----------------------------------------------------
+
+def _triples(edges) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if edges is None:
+        z = np.empty(0, dtype=np.int64)
+        return z, z.copy(), z.copy()
+    if isinstance(edges, Edges):
+        half = edges.u < edges.v
+        return (edges.u[half].astype(np.int64),
+                edges.v[half].astype(np.int64),
+                edges.w[half].astype(np.int64))
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+    return arr[:, 0], arr[:, 1], arr[:, 2]
+
+
+def _validate_endpoints(u, v, w, n) -> None:
+    if len(u) == 0:
+        return
+    if u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n:
+        raise ValueError("edge endpoint out of range")
+    if (u == v).any():
+        raise ValueError("self loops are not allowed")
+    if w.min() <= 0:
+        raise ValueError("edge weights must be positive integers")
+
+
+def _pair(row) -> Tuple[int, int]:
+    if len(row) != 2:
+        raise MutationError("delete rows must be [u, v]")
+    return int(row[0]), int(row[1])
+
+
+def _check_pair(u, v, n) -> Tuple[int, int]:
+    try:
+        u, v = int(u), int(v)
+    except (TypeError, ValueError):
+        raise MutationError("endpoints must be integers")
+    if not (0 <= u < n and 0 <= v < n):
+        raise MutationError(f"endpoint out of range for n={n}")
+    if u == v:
+        raise MutationError("self loops are not allowed")
+    return (u, v) if u <= v else (v, u)
+
+
+def _check_insert(row, n) -> Tuple[int, int, int]:
+    if len(row) != 3:
+        raise MutationError("insert rows must be [u, v, w]")
+    u, v = _check_pair(row[0], row[1], n)
+    try:
+        w = int(row[2])
+    except (TypeError, ValueError):
+        raise MutationError("weights must be integers")
+    if not (0 < w < 2 ** 62):
+        raise MutationError("edge weights must be positive integers")
+    return u, v, w
+
+
+def _directed_rows(view: SessionView, del_pairs: np.ndarray) -> np.ndarray:
+    """Row indices of both directed halves of the deleted pairs."""
+    if len(del_pairs) == 0:
+        return np.empty(0, dtype=np.int64)
+    n = view.n_vertices
+    a, b = del_pairs[:, 0], del_pairs[:, 1]
+    fwd = np.searchsorted(view.codes, a * n + b)
+    rev = np.searchsorted(view.codes, b * n + a)
+    rows = np.concatenate([fwd, rev])
+    if (rows >= len(view.codes)).any():
+        raise MutationError("internal: deleted pair vanished")
+    return rows
+
+
+def _forest_of(result) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    msf = result.msf_edges()
+    return (np.asarray(msf.u, dtype=np.int64),
+            np.asarray(msf.v, dtype=np.int64),
+            np.asarray(msf.w, dtype=np.int64),
+            int(result.total_weight))

@@ -116,3 +116,66 @@ class TestFaults:
         with pytest.raises(ValueError, match="fault spec"):
             main(["faults", "--procs", "4", "-n", "128", "-m", "512",
                   "--schedule", "nonsense"])
+
+
+class TestServe:
+    """NDJSON round-trip through ``repro serve`` on stdio."""
+
+    def _serve(self, instance, monkeypatch, capsys, reqs, extra=()):
+        import io
+        import json
+        lines = "".join(json.dumps(r) + "\n" for r in reqs)
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", str(instance), "--procs", "2",
+                     "--epoch-batch", "100000",
+                     "--epoch-delay-ms", "600000.0", *extra]) == 0
+        captured = capsys.readouterr()
+        out = [json.loads(t) for t in captured.out.splitlines() if t]
+        return out, captured.err
+
+    def test_roundtrip(self, instance, monkeypatch, capsys):
+        out, err = self._serve(instance, monkeypatch, capsys, [
+            {"id": 1, "op": "stats"},
+            {"id": 2, "op": "msf_weight"},
+            {"id": 3, "op": "edge_in_msf", "u": 0, "v": 1},
+            {"id": 4, "op": "shutdown"},
+        ])
+        by_id = {r["id"]: r for r in out}
+        assert by_id[1]["result"]["n_vertices"] == 256
+        assert by_id[2]["ok"] and by_id[2]["result"]["weight"] > 0
+        assert by_id[3]["ok"] and by_id[4]["ok"]
+        assert "serving" in err and "served 4 requests" in err
+        # stats must agree with the mst command's idea of the graph
+        assert by_id[1]["result"]["n_edges"] == 1024
+
+    def test_mutation_and_ledger(self, instance, tmp_path, monkeypatch,
+                                 capsys):
+        import json
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        g = load_npz(instance)
+        half = g.edges.u < g.edges.v
+        u = int(g.edges.u[half][0])
+        v = int(g.edges.v[half][0])
+        out, err = self._serve(instance, monkeypatch, capsys, [
+            {"id": 1, "op": "delete_edges", "edges": [[u, v]]},
+            {"id": 2, "op": "flush"},
+            {"id": 3, "op": "shutdown"},
+        ])
+        by_id = {r["id"]: r for r in out}
+        assert by_id[1]["ok"] and by_id[1]["result"]["applied"]
+        assert by_id[2]["result"]["committed"] is True
+        rows = [json.loads(t) for t in
+                ledger.read_text().splitlines() if t]
+        serve_rows = [r for r in rows if r["kind"] == "serve"]
+        assert len(serve_rows) == 1
+        assert serve_rows[0]["serving"]["requests"] == 3
+
+    def test_bad_request_line(self, instance, monkeypatch, capsys):
+        out, _ = self._serve(instance, monkeypatch, capsys, [
+            {"id": 1, "op": "frobnicate"},
+            {"id": 2, "op": "shutdown"},
+        ])
+        by_id = {r["id"]: r for r in out}
+        assert not by_id[1]["ok"]
+        assert by_id[1]["error"]["code"] == "bad_request"

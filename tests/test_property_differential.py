@@ -259,6 +259,75 @@ class TestEngineIdentity:
             "multiprocess runs")
 
 
+class TestServingDifferential:
+    """Serving epochs (docs/serving.md): random churn == sequential Kruskal.
+
+    A persistent :class:`~repro.serve.GraphSession` driven through random
+    insert/delete epochs must report the exact sequential-Kruskal MSF
+    weight after every commit -- whichever incremental strategy each epoch
+    picked, on either execution engine, and with a fail-stop fault
+    schedule injecting during the epoch recomputes.
+    """
+
+    @given(seed=st.integers(0, 2 ** 16), n=st.integers(16, 64),
+           engine=st.sampled_from(["batched", "multiprocess"]),
+           faulted=st.booleans(), epochs=st.integers(1, 5))
+    @settings(max_examples=12, deadline=None)
+    def test_churn_epochs_match_kruskal(self, seed, n, engine, faulted,
+                                        epochs):
+        from repro.dgraph.edges import Edges
+        from repro.serve import GraphSession
+
+        rng = np.random.default_rng(seed)
+        live = {}
+        while len(live) < 2 * n:
+            a, b = (int(x) for x in rng.integers(0, n, 2))
+            if a != b:
+                live[(min(a, b), max(a, b))] = \
+                    int(rng.integers(1, 1_000_000))
+        rows = [[u, v, w] for (u, v), w in sorted(live.items())]
+        faults = (f"seed={seed % 97}, pe_fail=0.04, retries=10, "
+                  f"max_replays=64") if faulted else False
+        cfg = BoruvkaConfig(base_case_min=16, base_case_factor=1,
+                            local_preprocessing=False)
+
+        def expected():
+            u = np.array([k[0] for k in live], dtype=np.int64)
+            v = np.array([k[1] for k in live], dtype=np.int64)
+            w = np.array(list(live.values()), dtype=np.int64)
+            return msf_weight(Edges(u, v, w), n) if len(live) else 0
+
+        try:
+            with GraphSession(n, rows, n_procs=int(rng.integers(1, 6)),
+                              cfg=cfg, faults=faults,
+                              engine=_engine_of(engine)) as session:
+                for _ in range(epochs):
+                    ops = []
+                    for _ in range(int(rng.integers(1, 5))):
+                        pairs = sorted(live)
+                        if rng.random() < 0.5 and pairs:
+                            pair = pairs[int(rng.integers(0, len(pairs)))]
+                            ops.append(("delete", [list(pair)]))
+                            live.pop(pair)
+                        else:
+                            while True:
+                                a, b = (int(x) for x in
+                                        rng.integers(0, n, 2))
+                                key = (min(a, b), max(a, b))
+                                if a != b and key not in live:
+                                    break
+                            w = int(rng.integers(1, 1_000_000))
+                            ops.append(("insert", [[key[0], key[1], w]]))
+                            live[key] = w
+                    outcomes, _ = session.apply_epoch(ops)
+                    assert all(o is None for o in outcomes), outcomes
+                    assert session.view.total_weight == expected(), (
+                        f"serving weight diverged from Kruskal (seed="
+                        f"{seed}, engine={engine}, faulted={faulted})")
+        except UnrecoverableFault:
+            assume(False)
+
+
 @pytest.mark.slow
 class TestDifferentialDeep:
     """Soak variants: bigger graphs, more examples (pytest -m slow)."""
